@@ -1,0 +1,94 @@
+// Shared harness pieces for the figure/table reproduction binaries.
+//
+// Every binary prints the paper's rows/series at a scaled-down trace
+// length (the paper replays trillions of references; see DESIGN.md §4
+// "Scaling note"). Environment knobs:
+//   HMM_BENCH_SCALE   multiply every trace length (default 1.0; use 4-10
+//                     for closer-to-steady-state numbers, 0.2 for smoke)
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/params.hh"
+#include "sim/memsim.hh"
+#include "trace/workloads.hh"
+
+namespace hmm::bench {
+
+[[nodiscard]] inline double scale() {
+  if (const char* e = std::getenv("HMM_BENCH_SCALE")) {
+    const double v = std::strtod(e, nullptr);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+[[nodiscard]] inline std::uint64_t scaled(std::uint64_t n) {
+  return static_cast<std::uint64_t>(static_cast<double>(n) * scale());
+}
+
+/// Section IV geometry with the given macro-page size and on-package size.
+[[nodiscard]] inline Geometry sec4_geometry(
+    std::uint64_t page_bytes,
+    std::uint64_t on_package = params::kSec4OnPackageCapacity) {
+  Geometry g;
+  g.total_bytes = params::kTotalMemory;
+  g.on_package_bytes = on_package;
+  g.page_bytes = page_bytes;
+  g.sub_block_bytes = std::min<std::uint64_t>(params::kSubBlockSize,
+                                              page_bytes);
+  return g;
+}
+
+/// Replay: warm up, then measure. During warm-up the migration engine
+/// runs in instant mode, fast-forwarding placement to the steady state
+/// the paper's trillion-reference traces reach (EXPERIMENTS.md explains
+/// the methodology); measurement always uses real copy dynamics.
+[[nodiscard]] inline RunResult run(const WorkloadInfo& w,
+                                   const MemSimConfig& cfg, std::uint64_t n,
+                                   double warmup_fraction = 0.5,
+                                   std::uint64_t seed = 42,
+                                   bool instant_warmup = true) {
+  MemSim sim(cfg);
+  auto gen = w.make(seed);
+  const auto warm = static_cast<std::uint64_t>(
+      static_cast<double>(n) * warmup_fraction);
+  if (warm > 0) {
+    if (instant_warmup) sim.controller().set_instant_migration(true);
+    sim.run(*gen, warm);
+    sim.controller().set_instant_migration(false);
+    sim.reset_stats();
+  }
+  sim.run(*gen, n - warm);
+  sim.finish();
+  return sim.result();
+}
+
+/// Convenience: a migration config for the Section IV studies.
+[[nodiscard]] inline MemSimConfig migration_config(std::uint64_t page_bytes,
+                                                   MigrationDesign design,
+                                                   std::uint64_t interval,
+                                                   std::uint64_t on_package =
+                                                       params::kSec4OnPackageCapacity) {
+  MemSimConfig cfg;
+  cfg.controller.geom = sec4_geometry(page_bytes, on_package);
+  cfg.controller.design = design;
+  cfg.controller.swap_interval = interval;
+  cfg.controller.migration_enabled = true;
+  return cfg;
+}
+
+/// Static mapping (no migration) on the same geometry.
+[[nodiscard]] inline MemSimConfig static_config(std::uint64_t page_bytes,
+                                                std::uint64_t on_package =
+                                                    params::kSec4OnPackageCapacity) {
+  MemSimConfig cfg;
+  cfg.controller.geom = sec4_geometry(page_bytes, on_package);
+  cfg.controller.migration_enabled = false;
+  return cfg;
+}
+
+}  // namespace hmm::bench

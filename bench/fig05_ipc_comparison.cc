@@ -1,0 +1,74 @@
+// Fig 5: IPC improvement over the baseline (all memory off-package) for
+// the three uses of 1GB of on-package DRAM: an L4 cache, a statically
+// mapped heterogeneous memory, and the all-on-package ideal.
+//
+// Paper shape: for the seven workloads whose footprint fits in 1GB, the
+// static heterogeneous mapping matches the ideal and beats the L4 cache
+// (which pays the sequential tag+data access, 140-cycle hits); for the
+// multi-GB workloads (DC.B, FT.C) the static mapping gains little and the
+// L4 cache can win; in some cases (e.g. CG.C) the L4 gains almost nothing.
+// Table II's latency ledger is printed first.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+
+using namespace hmm;
+
+namespace {
+
+void print_table2() {
+  std::printf("Table II ledger (reconstructed; see DESIGN.md):\n"
+              "  L1 2c | L2 5c | L3 25c | off-package memory %lluc | "
+              "on-package memory %lluc\n"
+              "  L4 DRAM-cache hit %lluc (tag then data), miss "
+              "determination %lluc\n\n",
+              static_cast<unsigned long long>(params::kOffPackageFixedLatency),
+              static_cast<unsigned long long>(params::kOnPackageFixedLatency),
+              static_cast<unsigned long long>(params::kL4HitLatency),
+              static_cast<unsigned long long>(params::kL4MissDetermination));
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t n = bench::scaled(4'000'000);
+  print_table2();
+  std::printf("Fig 5: IPC vs baseline (%llu CPU references per "
+              "configuration)\n\n",
+              static_cast<unsigned long long>(n));
+
+  const std::vector<MemOption> options = {
+      MemOption::L4Cache, MemOption::StaticHetero, MemOption::AllOnPackage};
+
+  TextTable t({"Workload", "Footprint", "Baseline IPC", "L4 Cache 1GB",
+               "On-Chip Mem 1GB", "All On-Chip", "L4 miss rate"});
+  for (const WorkloadInfo& w : npb_workloads()) {
+    SystemSim::Config base_cfg;
+    base_cfg.option = MemOption::Baseline;
+    auto base_gen = w.make(3);
+    SystemSim base_sim(base_cfg);
+    const Sec2Result base = base_sim.run(*base_gen, n, n / 2);
+
+    std::vector<std::string> row{w.name, format_size(w.footprint_bytes),
+                                 TextTable::num(base.ipc, 3)};
+    double l4_missrate = 0;
+    for (const MemOption opt : options) {
+      SystemSim::Config cfg;
+      cfg.option = opt;
+      auto gen = w.make(3);  // identical stream for a paired comparison
+      SystemSim sim(cfg);
+      const Sec2Result r = sim.run(*gen, n, n / 2);
+      const double delta = (r.ipc - base.ipc) / base.ipc;
+      row.push_back(TextTable::pct(delta));
+      if (opt == MemOption::L4Cache) l4_missrate = r.l4_miss_rate;
+    }
+    row.push_back(TextTable::pct(l4_missrate));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig 11 (a)-(c): average memory access latency of N / N-1 / Live
+// migration across macro-page sizes (4KB..4MB) and swap intervals
+// (1K / 10K / 100K accesses), with the paper's three guide lines per
+// workload: all-off-package, all-on-package, and static (no migration).
+//
+// Paper shape to reproduce: at coarse granularity (4MB), N is impractical
+// at high swap frequency (blocking swaps dominate); N-1 overlaps the copy
+// with execution; Live shaves a further few percent; at fine granularity
+// (4KB) the three converge.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace hmm;
+
+int main() {
+  const std::uint64_t n = bench::scaled(240'000);
+  const std::vector<std::uint64_t> pages = {4 * KiB, 16 * KiB, 64 * KiB,
+                                            256 * KiB, 1 * MiB, 4 * MiB};
+  const std::vector<std::uint64_t> intervals = {1'000, 10'000, 100'000};
+  const std::vector<MigrationDesign> designs = {
+      MigrationDesign::N, MigrationDesign::NMinus1,
+      MigrationDesign::LiveMigration};
+
+  std::printf("Fig 11: avg memory latency, designs x granularity x swap "
+              "interval (%llu accesses/cfg)\n\n",
+              static_cast<unsigned long long>(n));
+
+  for (const WorkloadInfo& w : section4_workloads()) {
+    // Guide lines.
+    MemSimConfig off_cfg = bench::static_config(4 * MiB);
+    off_cfg.force = MemSimConfig::Force::AllOffPackage;
+    const double all_off = bench::run(w, off_cfg, n / 2).avg_latency;
+    MemSimConfig on_cfg = bench::static_config(4 * MiB);
+    on_cfg.force = MemSimConfig::Force::AllOnPackage;
+    const double all_on = bench::run(w, on_cfg, n / 2).avg_latency;
+    const double nomig =
+        bench::run(w, bench::static_config(4 * MiB), n / 2).avg_latency;
+
+    std::printf("== %s  (all-off %.1f | all-on %.1f | w/o migration %.1f)\n",
+                w.name.c_str(), all_off, all_on, nomig);
+
+    for (const std::uint64_t interval : intervals) {
+      TextTable t({"page", "N", "N-1", "Live"});
+      for (const std::uint64_t page : pages) {
+        std::vector<std::string> row{format_size(page)};
+        for (const MigrationDesign d : designs) {
+          const RunResult r =
+              bench::run(w, bench::migration_config(page, d, interval), n);
+          row.push_back(TextTable::num(r.avg_latency));
+        }
+        t.add_row(std::move(row));
+      }
+      std::printf("-- swap interval = %llu accesses\n",
+                  static_cast<unsigned long long>(interval));
+      t.print(std::cout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

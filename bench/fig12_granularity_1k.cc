@@ -1,0 +1,8 @@
+// Fig 12: average memory latency by migration granularity, live
+// migration, swap interval = 1K memory accesses (the paper's most
+// aggressive setting — minimum latencies of the three interval figures).
+#include "bench/granularity_sweep.hh"
+
+int main() {
+  return hmm::bench::run_granularity_sweep(1'000, "Fig 12");
+}

@@ -1,0 +1,7 @@
+// Fig 13: average memory latency by migration granularity, live
+// migration, swap interval = 10K memory accesses.
+#include "bench/granularity_sweep.hh"
+
+int main() {
+  return hmm::bench::run_granularity_sweep(10'000, "Fig 13");
+}

@@ -1,0 +1,7 @@
+// Fig 14: average memory latency by migration granularity, live
+// migration, swap interval = 100K memory accesses.
+#include "bench/granularity_sweep.hh"
+
+int main() {
+  return hmm::bench::run_granularity_sweep(100'000, "Fig 14");
+}

@@ -1,0 +1,52 @@
+// Fig 15: sensitivity to on-package capacity (128MB / 256MB / 512MB):
+// DRAM core latency, average latency with migration, and without.
+//
+// Paper shape: latency rises as the on-package region shrinks, but stays
+// well below the no-migration latency even at 128MB.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace hmm;
+
+int main() {
+  const std::uint64_t n = bench::scaled(400'000);
+  const std::vector<std::uint64_t> capacities = {128 * MiB, 256 * MiB,
+                                                 512 * MiB};
+  const std::uint64_t page = 256 * KiB;
+  const std::uint64_t interval = 1'000;
+
+  std::printf("Fig 15: latency vs on-package capacity (live migration, "
+              "%s pages, %llu-access epochs, %llu accesses/cfg)\n\n",
+              format_size(page).c_str(),
+              static_cast<unsigned long long>(interval),
+              static_cast<unsigned long long>(n));
+
+  TextTable t({"Workload", "Capacity", "Core lat", "w/ migration",
+               "w/o migration"});
+  for (const WorkloadInfo& w : section4_workloads()) {
+    for (const std::uint64_t cap : capacities) {
+      MemSimConfig ideal = bench::static_config(page, cap);
+      ideal.force = MemSimConfig::Force::AllOnPackage;
+      const RunResult allon = bench::run(w, ideal, n / 2);
+      const double core = allon.avg_latency - allon.on_queue_delay;
+
+      const RunResult mig = bench::run(
+          w,
+          bench::migration_config(page, MigrationDesign::LiveMigration,
+                                  interval, cap),
+          n);
+      const RunResult nomig =
+          bench::run(w, bench::static_config(page, cap), n / 2);
+
+      t.add_row({w.name, format_size(cap), TextTable::num(core),
+                 TextTable::num(mig.avg_latency),
+                 TextTable::num(nomig.avg_latency)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

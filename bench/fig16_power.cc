@@ -1,0 +1,55 @@
+// Fig 16: total memory power of the hybrid on-/off-package system with
+// dynamic migration, normalized to an off-package-DRAM-only system, for
+// migration granularities 4KB / 16KB / 64KB and swap intervals 1K / 10K /
+// 100K accesses.
+//
+// Paper shape: power overhead grows with migration frequency and page
+// size (crossing-package copy traffic); the minimum observed overhead is
+// about 2x, at 4KB granularity with infrequent swaps.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace hmm;
+
+int main() {
+  const std::uint64_t n = bench::scaled(300'000);
+  const std::vector<std::uint64_t> pages = {4 * KiB, 16 * KiB, 64 * KiB};
+  const std::vector<std::uint64_t> intervals = {1'000, 10'000, 100'000};
+
+  std::printf("Fig 16: memory power normalized to off-package-only "
+              "(%llu accesses/cfg)\n",
+              static_cast<unsigned long long>(n));
+  std::printf("energy: %.2gpJ/bit core, %.3gpJ/bit on-package link, "
+              "%.2gpJ/bit off-package link\n\n",
+              params::kDramCorePjPerBit, params::kOnPackageLinkPjPerBit,
+              params::kOffPackageLinkPjPerBit);
+
+  TextTable t({"Workload", "Size", "1K", "10K", "100K"});
+  double min_ratio = 1e300;
+  for (const WorkloadInfo& w : section4_workloads()) {
+    for (const std::uint64_t page : pages) {
+      std::vector<std::string> row{w.name, format_size(page)};
+      for (const std::uint64_t interval : intervals) {
+        // Power must include the warm-up migration traffic proportionally,
+        // so use real migration dynamics throughout (no instant warm-up).
+        const RunResult r = bench::run(
+            w,
+            bench::migration_config(page, MigrationDesign::LiveMigration,
+                                    interval),
+            n, /*warmup_fraction=*/0.0, /*seed=*/42,
+            /*instant_warmup=*/false);
+        const double ratio = r.normalized_power();
+        min_ratio = std::min(min_ratio, ratio);
+        row.push_back(TextTable::num(ratio, 2) + "x");
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nminimum observed overhead: %.2fx (paper: ~2x)\n", min_ratio);
+  return 0;
+}

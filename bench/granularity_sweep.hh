@@ -1,0 +1,44 @@
+// Shared driver for Figs 12/13/14: live migration, average memory latency
+// across macro-page granularities at a fixed swap interval.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+namespace hmm::bench {
+
+inline int run_granularity_sweep(std::uint64_t interval,
+                                 const char* figure_name) {
+  const std::uint64_t n = scaled(400'000);
+  const std::vector<std::uint64_t> pages = {4 * KiB, 16 * KiB, 64 * KiB,
+                                            256 * KiB, 1 * MiB, 4 * MiB};
+
+  std::printf("%s: avg memory latency, live migration, swap interval = "
+              "%llu accesses (%llu accesses/cfg)\n\n",
+              figure_name, static_cast<unsigned long long>(interval),
+              static_cast<unsigned long long>(n));
+
+  TextTable t({"Workload", "4KB", "16KB", "64KB", "256KB", "1MB", "4MB",
+               "w/o migration"});
+  for (const WorkloadInfo& w : section4_workloads()) {
+    std::vector<std::string> row{w.name};
+    for (const std::uint64_t page : pages) {
+      const RunResult r = run(
+          w,
+          migration_config(page, MigrationDesign::LiveMigration, interval),
+          n);
+      row.push_back(TextTable::num(r.avg_latency));
+    }
+    row.push_back(
+        TextTable::num(run(w, static_config(4 * MiB), n / 2).avg_latency));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace hmm::bench

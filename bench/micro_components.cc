@@ -1,0 +1,99 @@
+// Component micro-benchmarks (google-benchmark): the per-access costs of
+// the simulator's hot paths, plus the FR-FCFS vs FCFS scheduling ablation
+// called out in DESIGN.md §6.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "cache/stack_distance.hh"
+#include "common/random.hh"
+#include "core/hotness.hh"
+#include "core/translation_table.hh"
+#include "dram/dram_system.hh"
+#include "trace/zipf.hh"
+
+namespace hmm {
+namespace {
+
+const Geometry kGeom{4 * GiB, 512 * MiB, 1 * MiB, 4 * KiB};
+
+void BM_TranslationTableTranslate(benchmark::State& state) {
+  TranslationTable table(kGeom, TableMode::HardwareNMinus1);
+  Pcg32 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.translate(rng.bounded64(4 * GiB)));
+  }
+}
+BENCHMARK(BM_TranslationTableTranslate);
+
+void BM_MultiQueueRecord(benchmark::State& state) {
+  MultiQueueTracker mq(3, 10);
+  Pcg32 rng(2);
+  for (auto _ : state) {
+    mq.record_access(rng.bounded64(4096), 0);
+  }
+  benchmark::DoNotOptimize(mq.hottest());
+}
+BENCHMARK(BM_MultiQueueRecord);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1 << 20, 1.05);
+  Pcg32 rng(3);
+  std::uint64_t sum = 0;
+  for (auto _ : state) sum += zipf(rng);
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_CacheAccess(benchmark::State& state) {
+  Cache cache(CacheConfig{"L2", 256 * KiB, 8, 64, 5, ReplacementPolicy::Lru});
+  Pcg32 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(rng.bounded64(1 * MiB), AccessType::Read));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_StackDistance(benchmark::State& state) {
+  StackDistanceProfiler prof({1024, 16384, 262144});
+  Pcg32 rng(5);
+  for (auto _ : state) {
+    prof.access(rng.bounded64(64 * MiB));
+  }
+}
+BENCHMARK(BM_StackDistance);
+
+/// Ablation: off-package channel throughput under FR-FCFS vs FCFS with a
+/// mixed row-hit / row-miss stream. FR-FCFS should complete the stream in
+/// fewer cycles (higher row-hit service rate).
+void BM_ChannelDrain(benchmark::State& state) {
+  const auto policy = static_cast<SchedulerPolicy>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    DramSystem sys(Region::OffPackage, DramTiming::off_package_ddr3_1333(), 4,
+                   policy);
+    Pcg32 rng(6);
+    state.ResumeTiming();
+    Cycle now = 0;
+    for (int i = 0; i < 4096; ++i) {
+      // Half streaming (row hits), half random (misses).
+      const MachAddr addr = (i % 2 == 0)
+                                ? static_cast<MachAddr>(i) * 64
+                                : rng.bounded64(1 * GiB);
+      sys.submit(addr, 64, AccessType::Read, Priority::Demand, now);
+      now += 8;
+      sys.drain_until(now);
+      benchmark::DoNotOptimize(sys.take_completions());
+    }
+    const Cycle end = sys.drain_all(now);
+    state.counters["sim_cycles"] = static_cast<double>(end);
+  }
+}
+BENCHMARK(BM_ChannelDrain)
+    ->Arg(static_cast<int>(SchedulerPolicy::FrFcfs))
+    ->Arg(static_cast<int>(SchedulerPolicy::Fcfs));
+
+}  // namespace
+}  // namespace hmm
+
+BENCHMARK_MAIN();

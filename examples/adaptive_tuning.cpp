@@ -1,0 +1,59 @@
+// Example: the paper's proposed extension — adaptively choosing the
+// migration granularity per workload (Section IV-B) — plus the trace
+// characterization that explains each choice.
+//
+// For every Section IV workload this (1) profiles the reference stream's
+// hot-set concentration at 64KB granularity, then (2) runs the
+// successive-halving granularity tuner and reports the page size it
+// settles on.
+//
+//   ./build/examples/adaptive_tuning [probe_accesses]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/tuner.hh"
+#include "trace/characterize.hh"
+#include "trace/workloads.hh"
+
+using namespace hmm;
+
+int main(int argc, char** argv) {
+  const std::uint64_t probe =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50'000;
+
+  std::printf("adaptive migration granularity — characterization + tuner\n"
+              "(probe window %llu accesses, doubling per round)\n\n",
+              static_cast<unsigned long long>(probe));
+
+  TextTable t({"Workload", "Footprint", "Hot 128MB", "Hot 512MB",
+               "Tuned page", "Tuned latency", "Probes"});
+  for (const WorkloadInfo& w : section4_workloads()) {
+    // 1. Characterize the stream at 64KB granularity.
+    TraceCharacterizer chr(64 * KiB, {128 * MiB, 512 * MiB});
+    auto gen = w.make(11);
+    for (int i = 0; i < 150'000; ++i) chr.add(gen->next());
+    const TraceProfile p = chr.profile();
+
+    // 2. Tune the granularity on a fresh stream.
+    TunerConfig cfg;
+    cfg.probe_accesses = probe;
+    GranularityTuner tuner(cfg);
+    const TunerOutcome out = tuner.tune(w.make, /*seed=*/23);
+
+    t.add_row({w.name, format_size(w.footprint_bytes),
+               TextTable::pct(p.traffic_share[0]),
+               TextTable::pct(p.traffic_share[1]),
+               format_size(out.best_page_bytes),
+               TextTable::num(out.best_latency) + " cyc",
+               std::to_string(out.probes.size())});
+  }
+  t.print(std::cout);
+  std::printf("\nreading: 'Hot 512MB' is the traffic share the on-package "
+              "region could capture\nwith perfect placement — the ceiling "
+              "on the paper's effectiveness metric. The\ntuner picks finer "
+              "pages for scattered hot sets and coarser ones for\n"
+              "slab-structured workloads.\n");
+  return 0;
+}

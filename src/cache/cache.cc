@@ -1,0 +1,120 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+namespace hmm {
+
+Cache::Cache(const CacheConfig& cfg)
+    : cfg_(cfg),
+      sets_(cfg.size_bytes / (cfg.line_bytes * cfg.ways)),
+      line_shift_(log2_exact(cfg.line_bytes)),
+      lines_(sets_ * cfg.ways),
+      hand_(sets_, 0) {
+  assert(sets_ > 0 && is_pow2(sets_));
+}
+
+std::uint64_t Cache::set_of(PhysAddr addr) const noexcept {
+  return (addr >> line_shift_) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(PhysAddr addr) const noexcept {
+  return (addr >> line_shift_) / sets_;
+}
+
+unsigned Cache::pick_victim(std::uint64_t set) noexcept {
+  Line* base = &lines_[set * cfg_.ways];
+  // Invalid way first.
+  for (unsigned w = 0; w < cfg_.ways; ++w)
+    if (!base[w].valid) return w;
+
+  switch (cfg_.policy) {
+    case ReplacementPolicy::Lru: {
+      unsigned victim = 0;
+      for (unsigned w = 1; w < cfg_.ways; ++w)
+        if (base[w].lru < base[victim].lru) victim = w;
+      return victim;
+    }
+    case ReplacementPolicy::ClockPseudoLru: {
+      unsigned& hand = hand_[set];
+      for (unsigned step = 0; step < 2 * cfg_.ways; ++step) {
+        const unsigned w = hand;
+        hand = (hand + 1) % cfg_.ways;
+        if (base[w].ref) {
+          base[w].ref = 0;
+          continue;
+        }
+        return w;
+      }
+      return hand;
+    }
+    case ReplacementPolicy::Random: {
+      rng_ ^= rng_ << 13;
+      rng_ ^= rng_ >> 7;
+      rng_ ^= rng_ << 17;
+      return static_cast<unsigned>(rng_ % cfg_.ways);
+    }
+  }
+  return 0;
+}
+
+CacheAccess Cache::access(PhysAddr addr, AccessType type) {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  ++tick_;
+
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = tick_;
+      l.ref = 1;
+      if (type == AccessType::Write) l.dirty = true;
+      ++hits_;
+      return CacheAccess{true, false, false, 0};
+    }
+  }
+
+  ++misses_;
+  const unsigned w = pick_victim(set);
+  Line& l = base[w];
+  CacheAccess r;
+  r.hit = false;
+  if (l.valid) {
+    r.evicted = true;
+    r.writeback = l.dirty;
+    if (l.dirty) ++writebacks_;
+    r.victim_addr = ((l.tag * sets_ + set) << line_shift_);
+  }
+  l.valid = true;
+  l.tag = tag;
+  l.dirty = type == AccessType::Write;
+  l.lru = tick_;
+  l.ref = 1;
+  return r;
+}
+
+bool Cache::contains(PhysAddr addr) const noexcept {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+bool Cache::invalidate(PhysAddr addr) noexcept {
+  const std::uint64_t set = set_of(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.valid = false;
+      l.dirty = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hmm

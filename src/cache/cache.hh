@@ -1,0 +1,91 @@
+// Set-associative cache model: write-back, write-allocate, selectable
+// replacement policy. Tag-only (no data payload) — the simulator tracks
+// hits/misses/evictions, which is all the Section II experiments need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace hmm {
+
+enum class ReplacementPolicy : std::uint8_t { Lru, ClockPseudoLru, Random };
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * KiB;
+  unsigned ways = 8;
+  std::uint64_t line_bytes = 64;
+  Cycle latency = 2;
+  ReplacementPolicy policy = ReplacementPolicy::Lru;
+};
+
+/// Result of one cache access.
+struct CacheAccess {
+  bool hit = false;
+  bool evicted = false;          ///< a valid line was displaced
+  bool writeback = false;        ///< ... and it was dirty
+  PhysAddr victim_addr = 0;      ///< line base of the displaced line
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Look up + fill-on-miss in one step (the common simulator fast path).
+  CacheAccess access(PhysAddr addr, AccessType type);
+
+  /// Look up without allocating (used for inclusive back-invalidation
+  /// checks and tests).
+  [[nodiscard]] bool contains(PhysAddr addr) const noexcept;
+
+  /// Remove a line if present (inclusive-hierarchy back-invalidation).
+  /// Returns true if the line was present (dirty or clean).
+  bool invalidate(PhysAddr addr) noexcept;
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t sets() const noexcept { return sets_; }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const noexcept {
+    return writebacks_;
+  }
+  [[nodiscard]] double miss_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses_) /
+                            static_cast<double>(total);
+  }
+  void reset_stats() noexcept { hits_ = misses_ = writebacks_ = 0; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;     ///< bigger = more recent
+    std::uint8_t ref = 0;      ///< clock pseudo-LRU reference bit
+  };
+
+  [[nodiscard]] std::uint64_t set_of(PhysAddr addr) const noexcept;
+  [[nodiscard]] std::uint64_t tag_of(PhysAddr addr) const noexcept;
+  unsigned pick_victim(std::uint64_t set) noexcept;
+
+  CacheConfig cfg_;
+  std::uint64_t sets_;
+  unsigned line_shift_;
+  std::vector<Line> lines_;        // sets_ * ways, row-major by set
+  std::vector<unsigned> hand_;     // clock hand per set
+  std::uint64_t tick_ = 0;         // LRU timestamp source
+  std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace hmm

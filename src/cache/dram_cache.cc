@@ -1,0 +1,38 @@
+#include "cache/dram_cache.hh"
+
+namespace hmm {
+
+namespace {
+CacheConfig l4_config(std::uint64_t raw_capacity) {
+  CacheConfig cfg;
+  cfg.name = "L4-DRAM";
+  // 1 of every 16 lines in a row is the tag line => 15/16 usable, organised
+  // as a 15-way set-associative array (Fig 1).
+  cfg.size_bytes = raw_capacity / 16 * 15;
+  cfg.ways = params::kL4Ways;
+  cfg.line_bytes = params::kCacheLine;
+  cfg.policy = ReplacementPolicy::ClockPseudoLru;
+  return cfg;
+}
+}  // namespace
+
+DramCache::DramCache(std::uint64_t raw_capacity, Cycle on_package_latency)
+    : cache_(l4_config(raw_capacity)), lat_(on_package_latency) {}
+
+DramCache::Result DramCache::access(PhysAddr addr, AccessType type) {
+  const CacheAccess a = cache_.access(addr, type);
+  Result r;
+  r.hit = a.hit;
+  if (a.hit) {
+    // Sequential tag read, then data read from the located way.
+    r.latency = 2 * lat_;
+  } else {
+    // The tag read alone tells us it is a miss.
+    r.latency = lat_;
+    r.memory_access = true;
+    r.dirty_writeback = a.writeback;
+  }
+  return r;
+}
+
+}  // namespace hmm

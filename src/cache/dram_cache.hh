@@ -1,0 +1,50 @@
+// The on-package DRAM L4 cache alternative the paper argues against
+// (Sections I-II): commodity DRAM dies carry no dedicated tag arrays, so
+// each 16-line DRAM row stores 1 line of tags + 15 lines of data, and the
+// tags must be read *before* the data:
+//
+//   hit  = tag access + data access = 2x on-package latency (140 cycles)
+//   miss = tag access               = 1x on-package latency  (70 cycles)
+//          ... followed by the off-package memory access.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "common/params.hh"
+#include "common/types.hh"
+
+namespace hmm {
+
+class DramCache {
+ public:
+  /// `raw_capacity` is the physical DRAM size; 1/16 of it holds tags, so
+  /// the usable data capacity is 15/16 of it.
+  explicit DramCache(std::uint64_t raw_capacity = params::kSec2OnPackageCapacity,
+                     Cycle on_package_latency = params::kOnPackageFixedLatency);
+
+  struct Result {
+    bool hit = false;
+    Cycle latency = 0;           ///< L4-side latency (excl. memory on miss)
+    bool memory_access = false;  ///< miss: line must come from off-package
+    bool dirty_writeback = false;
+  };
+
+  Result access(PhysAddr addr, AccessType type);
+
+  [[nodiscard]] double miss_rate() const noexcept { return cache_.miss_rate(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return cache_.hits(); }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return cache_.misses();
+  }
+  [[nodiscard]] Cycle hit_latency() const noexcept { return 2 * lat_; }
+  [[nodiscard]] Cycle miss_determination_latency() const noexcept {
+    return lat_;
+  }
+
+ private:
+  Cache cache_;
+  Cycle lat_;
+};
+
+}  // namespace hmm

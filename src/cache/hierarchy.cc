@@ -1,0 +1,77 @@
+#include "cache/hierarchy.hh"
+
+namespace hmm {
+
+namespace {
+CacheConfig l1_default() {
+  return CacheConfig{"L1", params::kL1Size, params::kL1Ways,
+                     params::kCacheLine, params::kL1Latency,
+                     ReplacementPolicy::Lru};
+}
+CacheConfig l2_default() {
+  return CacheConfig{"L2", params::kL2Size, params::kL2Ways,
+                     params::kCacheLine, params::kL2Latency,
+                     ReplacementPolicy::Lru};
+}
+CacheConfig l3_default() {
+  return CacheConfig{"L3", params::kL3Size, params::kL3Ways,
+                     params::kCacheLine, params::kL3Latency,
+                     ReplacementPolicy::Lru};
+}
+}  // namespace
+
+CacheHierarchy::CacheHierarchy(unsigned cores)
+    : CacheHierarchy(cores, l1_default(), l2_default(), l3_default()) {}
+
+CacheHierarchy::CacheHierarchy(unsigned cores, const CacheConfig& l1,
+                               const CacheConfig& l2, const CacheConfig& l3)
+    : l3_(l3) {
+  l1_.reserve(cores);
+  l2_.reserve(cores);
+  for (unsigned i = 0; i < cores; ++i) {
+    l1_.emplace_back(l1);
+    l2_.emplace_back(l2);
+  }
+}
+
+HierarchyResult CacheHierarchy::access(CpuId cpu, PhysAddr addr,
+                                       AccessType type) {
+  HierarchyResult r;
+  Cache& l1 = l1_[cpu];
+  Cache& l2 = l2_[cpu];
+
+  r.lookup_latency += l1.config().latency;
+  if (l1.access(addr, type).hit) {
+    r.hit_level = 1;
+    return r;
+  }
+
+  r.lookup_latency += l2.config().latency;
+  const CacheAccess a2 = l2.access(addr, type);
+  if (a2.hit) {
+    r.hit_level = 2;
+    return r;
+  }
+
+  r.lookup_latency += l3_.config().latency;
+  const CacheAccess a3 = l3_.access(addr, type);
+  if (a3.hit) {
+    r.hit_level = 3;
+    return r;
+  }
+
+  // L3 miss -> main memory. Inclusive hierarchy: the displaced L3 line is
+  // purged from every private cache.
+  r.hit_level = 4;
+  r.memory_access = true;
+  r.memory_write = a3.writeback;
+  if (a3.evicted) {
+    for (unsigned c = 0; c < l1_.size(); ++c) {
+      if (l1_[c].invalidate(a3.victim_addr)) ++back_invalidations_;
+      if (l2_[c].invalidate(a3.victim_addr)) ++back_invalidations_;
+    }
+  }
+  return r;
+}
+
+}  // namespace hmm

@@ -1,0 +1,51 @@
+// The Section II cache hierarchy: per-core private L1/L2 and a shared,
+// inclusive L3 (Table II: 32KB/8w/2c, 256KB/8w/5c, 8MB/16w/25c).
+//
+// Inclusive L3: evicting an L3 line back-invalidates every private copy,
+// as the paper's "shared inclusive 8MB L3" implies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/params.hh"
+#include "common/types.hh"
+
+namespace hmm {
+
+struct HierarchyResult {
+  unsigned hit_level = 0;  ///< 1..3, or 4 = missed everything (memory)
+  Cycle lookup_latency = 0;  ///< summed lookup latencies down to the hit
+  bool memory_access = false;  ///< L3 missed: main memory must be accessed
+  bool memory_write = false;   ///< the memory access is a dirty writeback
+};
+
+class CacheHierarchy {
+ public:
+  /// Builds the Table II hierarchy for `cores` cores.
+  explicit CacheHierarchy(unsigned cores = params::kNumCores);
+  /// Custom geometry (tests / sensitivity studies).
+  CacheHierarchy(unsigned cores, const CacheConfig& l1, const CacheConfig& l2,
+                 const CacheConfig& l3);
+
+  HierarchyResult access(CpuId cpu, PhysAddr addr, AccessType type);
+
+  [[nodiscard]] unsigned cores() const noexcept {
+    return static_cast<unsigned>(l1_.size());
+  }
+  [[nodiscard]] const Cache& l1(CpuId c) const noexcept { return l1_[c]; }
+  [[nodiscard]] const Cache& l2(CpuId c) const noexcept { return l2_[c]; }
+  [[nodiscard]] const Cache& l3() const noexcept { return l3_; }
+  [[nodiscard]] std::uint64_t back_invalidations() const noexcept {
+    return back_invalidations_;
+  }
+
+ private:
+  std::vector<Cache> l1_;
+  std::vector<Cache> l2_;
+  Cache l3_;
+  std::uint64_t back_invalidations_ = 0;
+};
+
+}  // namespace hmm

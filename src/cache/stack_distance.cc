@@ -1,0 +1,96 @@
+#include "cache/stack_distance.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/units.hh"
+
+namespace hmm {
+
+StackDistanceProfiler::StackDistanceProfiler(
+    std::vector<std::uint64_t> capacities_lines, std::uint64_t line_bytes)
+    : capacities_(std::move(capacities_lines)),
+      line_shift_(log2_exact(line_bytes)),
+      tree_(1 << 16, 0),
+      hits_at_(capacities_.size() + 1, 0) {
+  assert(std::is_sorted(capacities_.begin(), capacities_.end()));
+}
+
+void StackDistanceProfiler::fenwick_add(std::uint64_t pos,
+                                        std::int64_t delta) noexcept {
+  for (std::uint64_t i = pos + 1; i < tree_.size(); i += i & (~i + 1))
+    tree_[i] += delta;
+}
+
+std::uint64_t StackDistanceProfiler::fenwick_suffix_ones(
+    std::uint64_t from) const noexcept {
+  // ones in [from, clock_) = total_live - prefix(from)
+  std::int64_t prefix = 0;
+  for (std::uint64_t i = from; i > 0; i -= i & (~i + 1)) prefix += tree_[i];
+  const auto live = static_cast<std::int64_t>(last_seen_.size());
+  return static_cast<std::uint64_t>(live - prefix);
+}
+
+void StackDistanceProfiler::rebuild() {
+  // Renumber live positions compactly, preserving order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_time;  // ts, line
+  by_time.reserve(last_seen_.size());
+  for (const auto& [line, ts] : last_seen_) by_time.emplace_back(ts, line);
+  std::sort(by_time.begin(), by_time.end());
+
+  const std::uint64_t needed = ceil_pow2(2 * (by_time.size() + 2));
+  tree_.assign(std::max<std::uint64_t>(needed, 1 << 16), 0);
+  clock_ = 0;
+  for (const auto& [ts, line] : by_time) {
+    last_seen_[line] = clock_;
+    fenwick_add(clock_, 1);
+    ++clock_;
+  }
+}
+
+void StackDistanceProfiler::access(PhysAddr addr) {
+  ++accesses_;
+  const std::uint64_t line = addr >> line_shift_;
+
+  if (clock_ + 1 >= tree_.size()) rebuild();
+
+  const auto it = last_seen_.find(line);
+  if (it == last_seen_.end()) {
+    ++cold_misses_;
+  } else {
+    const std::uint64_t prev = it->second;
+    // Distance = number of distinct lines touched strictly after prev
+    // (the line itself sits at stack position `distance`).
+    const std::uint64_t d = fenwick_suffix_ones(prev + 1);
+    // Hit in any capacity > d.
+    const auto idx = static_cast<std::size_t>(
+        std::upper_bound(capacities_.begin(), capacities_.end(), d) -
+        capacities_.begin());
+    ++hits_at_[idx];
+    fenwick_add(prev, -1);
+  }
+  last_seen_[line] = clock_;
+  fenwick_add(clock_, 1);
+  ++clock_;
+}
+
+double StackDistanceProfiler::miss_ratio(std::size_t i) const {
+  assert(i < capacities_.size());
+  // hits_at_[k] counts accesses whose smallest-fitting capacity index is k;
+  // capacity i hits everything with index <= i.
+  std::uint64_t hits = 0;
+  for (std::size_t k = 0; k <= i; ++k) hits += hits_at_[k];
+  if (accesses_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(accesses_);
+}
+
+double StackDistanceProfiler::warm_miss_ratio(std::size_t i) const {
+  assert(i < capacities_.size());
+  std::uint64_t hits = 0;
+  for (std::size_t k = 0; k <= i; ++k) hits += hits_at_[k];
+  const std::uint64_t warm = accesses_ - cold_misses_;
+  if (warm == 0) return 0.0;
+  return 1.0 - static_cast<double>(hits) / static_cast<double>(warm);
+}
+
+}  // namespace hmm

@@ -1,0 +1,67 @@
+// Mattson LRU stack-distance profiler.
+//
+// One pass over a reference stream yields the miss ratio of a
+// fully-associative LRU cache of *every* capacity simultaneously — the
+// standard tool for miss-rate-vs-capacity curves (our Fig 4), and a close
+// approximation for the paper's 16-way LLC.
+//
+// Implementation: the classic Olken structure — a Fenwick (binary indexed)
+// tree over access timestamps holding a 1 for each address's most recent
+// access. The reuse (stack) distance of an access is the number of ones
+// after the address's previous timestamp. The tree is rebuilt (compacted)
+// when timestamps outgrow it, giving amortized O(log n) per access.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hmm {
+
+class StackDistanceProfiler {
+ public:
+  /// `capacities_lines`: the cache sizes (in lines) to report, ascending.
+  explicit StackDistanceProfiler(std::vector<std::uint64_t> capacities_lines,
+                                 std::uint64_t line_bytes = 64);
+
+  void access(PhysAddr addr);
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t cold_misses() const noexcept {
+    return cold_misses_;
+  }
+  /// Distinct lines touched (the footprint in lines).
+  [[nodiscard]] std::uint64_t distinct_lines() const noexcept {
+    return last_seen_.size();
+  }
+
+  /// Miss ratio of an LRU cache with capacity capacities[i] lines.
+  [[nodiscard]] double miss_ratio(std::size_t i) const;
+
+  /// Miss ratio excluding compulsory (first-touch) misses — the
+  /// steady-state rate a long-running workload would show. Scaled traces
+  /// underestimate re-reference, so warm rates are the comparable metric.
+  [[nodiscard]] double warm_miss_ratio(std::size_t i) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& capacities() const noexcept {
+    return capacities_;
+  }
+
+ private:
+  void rebuild();
+  void fenwick_add(std::uint64_t pos, std::int64_t delta) noexcept;
+  [[nodiscard]] std::uint64_t fenwick_suffix_ones(
+      std::uint64_t from) const noexcept;
+
+  std::vector<std::uint64_t> capacities_;
+  unsigned line_shift_;
+  std::vector<std::int64_t> tree_;  // 1-based Fenwick array
+  std::uint64_t clock_ = 0;         // next timestamp (0-based position)
+  std::unordered_map<std::uint64_t, std::uint64_t> last_seen_;  // line -> ts
+  std::vector<std::uint64_t> hits_at_;  // first-capacity-bucket counters
+  std::uint64_t accesses_ = 0;
+  std::uint64_t cold_misses_ = 0;
+};
+
+}  // namespace hmm

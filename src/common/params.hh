@@ -1,0 +1,105 @@
+// Paper constants (Table II / Table III of Dong et al., SC'10), in one place.
+//
+// The scraped paper text dropped trailing zeros from several numbers; the
+// values below are reconstructed so that the latency ledger is internally
+// consistent (see DESIGN.md §2 "OCR-damage reconstruction"):
+//
+//   off-package = core 50 + queue 116 + MC 5 + ctl<->core 2*4 + pin 2*5
+//                 + PCB 11 (round trip)                         = 200 cycles
+//   on-package  = core 50 + MC 5 + ctl<->core 2*4 + interposer 2*3
+//                 + in-package wire 1 (round trip)              =  70 cycles
+//   L4 DRAM-cache hit  = 2 * 70 = 140 (sequential tag, then data)
+//   L4 miss determination = 70
+#pragma once
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace hmm::params {
+
+// --- Microprocessor (Table II) ---------------------------------------------
+inline constexpr unsigned kNumCores = 4;
+inline constexpr double kCpuGHz = 3.2;
+
+// --- Cache hierarchy latencies (CPU cycles) --------------------------------
+inline constexpr Cycle kL1Latency = 2;    // 32KB, 8-way, private
+inline constexpr Cycle kL2Latency = 5;    // 256KB, 8-way, private
+inline constexpr Cycle kL3Latency = 25;   // 8MB, 16-way, shared inclusive
+inline constexpr std::uint64_t kL1Size = 32 * KiB;
+inline constexpr std::uint64_t kL2Size = 256 * KiB;
+inline constexpr std::uint64_t kL3Size = 8 * MiB;
+inline constexpr unsigned kL1Ways = 8;
+inline constexpr unsigned kL2Ways = 8;
+inline constexpr unsigned kL3Ways = 16;
+inline constexpr std::uint64_t kCacheLine = 64;
+
+// --- Fixed latency ledger (CPU cycles, Table II) ----------------------------
+inline constexpr Cycle kMcProcessing = 5;        // memory controller pipeline
+inline constexpr Cycle kCtlToCoreOneWay = 4;     // controller <-> core
+inline constexpr Cycle kPackagePinOneWay = 5;    // CPU package pins
+inline constexpr Cycle kPcbWireRoundTrip = 11;   // board traces to DIMM
+inline constexpr Cycle kInterposerPinOneWay = 3; // silicon interposer
+inline constexpr Cycle kInPackageWireRoundTrip = 1;
+inline constexpr Cycle kDramCoreLatency = 50;    // array access, both regions
+inline constexpr Cycle kOffPackageQueueNominal = 116;  // Simics fixed model
+
+/// Simics-style fixed off-package latency (Section II's "200-cycle memory").
+inline constexpr Cycle kOffPackageFixedLatency =
+    kDramCoreLatency + kOffPackageQueueNominal + kMcProcessing +
+    2 * kCtlToCoreOneWay + 2 * kPackagePinOneWay + kPcbWireRoundTrip;  // 200
+static_assert(kOffPackageFixedLatency == 200);
+
+/// Simics-style fixed on-package latency ("70-cycle memory").
+inline constexpr Cycle kOnPackageFixedLatency =
+    kDramCoreLatency + kMcProcessing + 2 * kCtlToCoreOneWay +
+    2 * kInterposerPinOneWay + kInPackageWireRoundTrip;  // 70
+static_assert(kOnPackageFixedLatency == 70);
+
+/// Non-core, non-queue overhead added on top of the detailed DRAM timing.
+inline constexpr Cycle kOffPackageWireOverhead =
+    kMcProcessing + 2 * kCtlToCoreOneWay + 2 * kPackagePinOneWay +
+    kPcbWireRoundTrip;  // 34
+inline constexpr Cycle kOnPackageWireOverhead =
+    kMcProcessing + 2 * kCtlToCoreOneWay + 2 * kInterposerPinOneWay +
+    kInPackageWireRoundTrip;  // 20
+
+/// L4 DRAM cache: tag and data are read sequentially from the same arrays
+/// (15-way data + 1 tag line per 16-line row), so a hit costs two accesses.
+inline constexpr Cycle kL4HitLatency = 2 * kOnPackageFixedLatency;   // 140
+inline constexpr Cycle kL4MissDetermination = kOnPackageFixedLatency;  // 70
+inline constexpr unsigned kL4Ways = 15;  // 15-way in a 16-way data array
+
+// --- Translation layer ------------------------------------------------------
+/// RAM+CAM translation table adds two pipeline cycles per access (Sec III-B).
+inline constexpr Cycle kTranslationTableLatency = 2;
+/// OS-assisted table update: user/kernel switch, ~TLB-update class cost [19].
+inline constexpr Cycle kOsUpdateOverhead = 127;
+
+// --- Section II experiment geometry -----------------------------------------
+inline constexpr std::uint64_t kSec2OnPackageCapacity = 1 * GiB;
+
+// --- Section IV (Table III) geometry ----------------------------------------
+inline constexpr std::uint64_t kTotalMemory = 4 * GiB;
+inline constexpr std::uint64_t kSec4OnPackageCapacity = 512 * MiB;
+inline constexpr std::uint64_t kSubBlockSize = 4 * KiB;
+inline constexpr std::uint64_t kMinMacroPage = 4 * KiB;
+inline constexpr std::uint64_t kMaxMacroPage = 4 * MiB;
+/// Pure-hardware tracking is considered feasible only at >= 1MB granularity.
+inline constexpr std::uint64_t kPureHardwareMinPage = 1 * MiB;
+
+// --- DRAM organisation -------------------------------------------------------
+inline constexpr unsigned kOffPackageChannels = 4;   // four DDR3 channels
+inline constexpr unsigned kOffPackageBanksPerChannel = 8;
+inline constexpr unsigned kOnPackageChannels = 1;    // wide SiP interface
+inline constexpr unsigned kOnPackageBanks = 128;     // many-bank structure
+
+// --- Hotness trackers (Section III-B) ----------------------------------------
+inline constexpr unsigned kMultiQueueLevels = 3;
+inline constexpr unsigned kMultiQueueEntriesPerLevel = 10;
+
+// --- Energy (Section IV-D, [21]) ---------------------------------------------
+inline constexpr double kDramCorePjPerBit = 5.0;
+inline constexpr double kOnPackageLinkPjPerBit = 1.66;
+inline constexpr double kOffPackageLinkPjPerBit = 13.0;
+
+}  // namespace hmm::params

@@ -1,0 +1,84 @@
+// Deterministic, fast pseudo-random number generation for workload synthesis.
+//
+// PCG32 (O'Neill, 2014): small state, excellent statistical quality, and —
+// crucially for a simulator — fully reproducible across platforms, unlike
+// the unspecified std::default_random_engine.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace hmm {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bull,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbull) noexcept {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+  /// Uniform in [0, bound), bound > 0. Lemire-style rejection for no bias.
+  std::uint32_t bounded(std::uint32_t bound) noexcept {
+    assert(bound > 0);
+    const std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [0, bound), 64-bit bound > 0.
+  std::uint64_t bounded64(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1), 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Geometric-ish positive integer with mean `mean` (>=1).
+  std::uint64_t geometric(double mean) noexcept {
+    if (mean <= 1.0) return 1;
+    const double p = 1.0 / mean;
+    double u = uniform();
+    if (u <= 0.0) u = 1e-12;
+    const double v = std::log(u) / std::log(1.0 - p);
+    return 1 + static_cast<std::uint64_t>(v);
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace hmm

@@ -1,0 +1,30 @@
+// Minimal fixed-width ASCII table printer used by the bench harnesses to
+// emit the paper's tables/figure series in a grep-friendly layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 1);
+  /// Convenience: percentage with one decimal ("83.0%").
+  static std::string pct(double fraction, int prec = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hmm

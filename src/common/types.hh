@@ -1,0 +1,48 @@
+// Fundamental vocabulary types shared by every subsystem.
+//
+// All quantities that cross module boundaries use these aliases so that a
+// reader can tell a CPU-cycle count from a byte count from a macro-page id
+// at a glance, and so unit mistakes show up in review.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hmm {
+
+/// Absolute time and durations, in CPU clock cycles (3.2 GHz in the paper).
+using Cycle = std::uint64_t;
+
+/// A physical (program-visible) byte address.
+using PhysAddr = std::uint64_t;
+
+/// A machine (DRAM-device) byte address produced by the translation layer.
+using MachAddr = std::uint64_t;
+
+/// Macro-page index within the physical address space (addr >> log2(page)).
+using PageId = std::uint64_t;
+
+/// Index of an on-package memory slot (row of the translation table).
+using SlotId = std::uint32_t;
+
+/// Hardware thread / CPU id as recorded in traces.
+using CpuId = std::uint16_t;
+
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/// Which side of the package boundary a machine address lives on.
+enum class Region : std::uint8_t { OnPackage, OffPackage };
+
+[[nodiscard]] constexpr const char* to_string(Region r) noexcept {
+  return r == Region::OnPackage ? "on-package" : "off-package";
+}
+
+/// Read/write direction of a memory reference.
+enum class AccessType : std::uint8_t { Read, Write };
+
+[[nodiscard]] constexpr const char* to_string(AccessType t) noexcept {
+  return t == AccessType::Read ? "read" : "write";
+}
+
+}  // namespace hmm

@@ -1,0 +1,116 @@
+#include "core/controller.hh"
+
+#include <algorithm>
+
+namespace hmm {
+
+HeteroMemoryController::HeteroMemoryController(const ControllerConfig& cfg,
+                                               DramSystem& on_package,
+                                               DramSystem& off_package)
+    : cfg_(cfg),
+      table_(cfg.geom, cfg.design == MigrationDesign::N
+                           ? TableMode::FunctionalN
+                           : TableMode::HardwareNMinus1),
+      engine_(table_, on_package, off_package,
+              MigrationEngine::Config{cfg.design, cfg.critical_first, 0}),
+      slot_tracker_(cfg.geom.slots()),
+      mq_(params::kMultiQueueLevels, params::kMultiQueueEntriesPerLevel) {}
+
+HeteroMemoryController::Decision HeteroMemoryController::on_access(
+    PhysAddr addr, AccessType /*type*/, Cycle now) {
+  Decision d;
+  d.route = table_.translate(addr);
+  d.extra_latency = params::kTranslationTableLatency;
+  ++stats_.accesses;
+
+  const Geometry& g = cfg_.geom;
+  const PageId p = g.page_of(addr);
+  const std::uint32_t sb = g.sub_block_of(g.offset_of(addr));
+
+  if (d.route.region == Region::OnPackage) {
+    ++stats_.on_package_hits;
+    if (d.route.served_by_fill_slot) ++stats_.fill_forwards;
+    const auto slot = static_cast<SlotId>(d.route.mach >> g.page_shift());
+    slot_tracker_.record_access(slot);
+  } else {
+    ++stats_.off_package_hits;
+    if (cfg_.migration_enabled) {
+      if (cfg_.oracle_hotness)
+        oracle_.record_access(p, sb);
+      else
+        mq_.record_access(p, sb);
+    }
+  }
+
+  if (cfg_.migration_enabled) {
+    if (++since_epoch_ >= cfg_.swap_interval) {
+      since_epoch_ = 0;
+      consider_swap(now);
+    }
+    // The basic N design halts execution during a swap (Section III-A);
+    // the check runs after the trigger so a just-started swap also blocks.
+    if (cfg_.design == MigrationDesign::N && !engine_.idle())
+      d.stall_until_idle = true;
+    // OS-assisted bookkeeping stalls the CPU; charge it to the access that
+    // crossed the epoch boundary.
+    d.extra_latency += pending_os_stall_;
+    pending_os_stall_ = 0;
+  }
+  return d;
+}
+
+void HeteroMemoryController::consider_swap(Cycle now) {
+  // One swap per epoch in normal operation (the engine is busy for the
+  // rest of the epoch anyway); during instant-migration warm-up the chain
+  // is allowed to run deeper so placement converges within a scaled trace.
+  const int max_swaps = engine_.instant() ? 64 : 1;
+
+  for (int k = 0; k < max_swaps; ++k) {
+    const MultiQueueTracker::Hottest hot =
+        cfg_.oracle_hotness ? oracle_.hottest() : mq_.hottest();
+    if (!hot.found) break;
+
+    ++stats_.swap_attempts;
+    // Find the coldest migratable on-package slot.
+    auto migratable = [&](SlotId s) { return engine_.can_swap(hot.page, s); };
+    const SlotClockTracker::Victim cold = slot_tracker_.pick_victim(migratable);
+
+    // Hottest-coldest rule: swap only when the off-package MRU page is
+    // accessed more often than the on-package LRU page. MQ counts halve
+    // once per epoch, so their steady-state value is ~2x the per-epoch
+    // rate; the oracle's counts are exact per-epoch rates.
+    const std::uint64_t hot_rate =
+        cfg_.oracle_hotness ? hot.epoch_count : hot.epoch_count / 2;
+    if (cold.found && std::max<std::uint64_t>(hot_rate, 1) > cold.epoch_count &&
+        engine_.start_swap(hot.page, hot.last_sub_block, cold.slot, now)) {
+      if (cfg_.oracle_hotness)
+        oracle_.erase(hot.page);
+      else
+        mq_.erase(hot.page);
+      if (cfg_.is_os_assisted()) {
+        // Every table update is an OS routine invocation (Section III-B).
+        const auto updates = static_cast<Cycle>(
+            cfg_.design == MigrationDesign::N ? 1 : 5);
+        const Cycle stall = updates * params::kOsUpdateOverhead;
+        stats_.os_stall_cycles += stall;
+        pending_os_stall_ += stall;
+      }
+    } else {
+      ++stats_.swaps_rejected;
+      break;
+    }
+  }
+
+  slot_tracker_.reset_epoch();
+  if (cfg_.oracle_hotness)
+    oracle_.reset_epoch();
+  else
+    mq_.reset_epoch();
+}
+
+void HeteroMemoryController::on_completion(const DramCompletion& c,
+                                           Region from) {
+  if (c.priority == Priority::Background) engine_.on_completion(c, from);
+}
+
+}  // namespace hmm

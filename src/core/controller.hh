@@ -1,0 +1,107 @@
+// The heterogeneity-aware on-chip memory controller (Fig 3).
+//
+// Front stage: the physical->machine Address Translation (moved ahead of
+// transaction scheduling, so each access is routed to the on-package or
+// off-package region first and the two regions schedule independently —
+// the per-region scheduling lives in dram::DramSystem).
+//
+// Side stage: the Migration Controller — hotness monitoring (clock
+// pseudo-LRU on-package, multi-queue off-package), the hottest-coldest
+// trigger evaluated once per swap-interval epoch, and the MigrationEngine
+// that performs the Fig 8 choreography in the background.
+//
+// Implementation flavours (Section III-B):
+//  * pure hardware — feasible for macro pages >= 1MB; no per-update cost;
+//  * OS-assisted  — required below 1MB; every translation-table update
+//    costs a user/kernel switch (~127 cycles [19]) charged to the CPU.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/params.hh"
+#include "common/types.hh"
+#include "core/hotness.hh"
+#include "core/migration.hh"
+#include "core/translation_table.hh"
+#include "dram/dram_system.hh"
+
+namespace hmm {
+
+struct ControllerConfig {
+  Geometry geom;
+  bool migration_enabled = true;
+  MigrationDesign design = MigrationDesign::LiveMigration;
+  /// Accesses per monitoring epoch ("swap interval" of Section IV).
+  std::uint64_t swap_interval = 10'000;
+  bool critical_first = true;
+  /// Perfect-knowledge hotness (ablation upper bound) instead of MQ.
+  bool oracle_hotness = false;
+  /// Force OS-assisted bookkeeping; nullopt = decide by granularity
+  /// (OS-assisted below kPureHardwareMinPage).
+  std::optional<bool> os_assisted;
+
+  [[nodiscard]] bool is_os_assisted() const noexcept {
+    return os_assisted.value_or(geom.page_bytes < params::kPureHardwareMinPage);
+  }
+};
+
+class HeteroMemoryController {
+ public:
+  struct Decision {
+    Route route;
+    /// Cycles the access must additionally wait before issue: translation
+    /// pipeline + (design N) blocking swap + OS bookkeeping stalls.
+    Cycle extra_latency = 0;
+    /// Design N only: demand may not issue until migration finishes.
+    bool stall_until_idle = false;
+  };
+
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t on_package_hits = 0;   ///< accesses routed on-package
+    std::uint64_t off_package_hits = 0;
+    std::uint64_t fill_forwards = 0;     ///< served by a filling slot
+    std::uint64_t swap_attempts = 0;     ///< trigger fired
+    std::uint64_t swaps_rejected = 0;    ///< engine busy / invalid pair
+    std::uint64_t os_stall_cycles = 0;
+  };
+
+  HeteroMemoryController(const ControllerConfig& cfg, DramSystem& on_package,
+                         DramSystem& off_package);
+
+  /// Translate + monitor one demand access; may trigger a swap.
+  [[nodiscard]] Decision on_access(PhysAddr addr, AccessType type, Cycle now);
+
+  /// Feed DRAM completions here; Background ones drive the engine.
+  void on_completion(const DramCompletion& c, Region from);
+
+  [[nodiscard]] const TranslationTable& table() const noexcept {
+    return table_;
+  }
+  [[nodiscard]] TranslationTable& table() noexcept { return table_; }
+  [[nodiscard]] const MigrationEngine& engine() const noexcept {
+    return engine_;
+  }
+  [[nodiscard]] bool migration_idle() const noexcept { return engine_.idle(); }
+
+  /// Warm-up fast-forward (see MigrationEngine::set_instant).
+  void set_instant_migration(bool on) noexcept { engine_.set_instant(on); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ControllerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void consider_swap(Cycle now);
+
+  ControllerConfig cfg_;
+  TranslationTable table_;
+  MigrationEngine engine_;
+  SlotClockTracker slot_tracker_;
+  MultiQueueTracker mq_;
+  OracleTracker oracle_;
+  Stats stats_;
+  std::uint64_t since_epoch_ = 0;
+  Cycle pending_os_stall_ = 0;
+};
+
+}  // namespace hmm

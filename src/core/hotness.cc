@@ -1,0 +1,125 @@
+#include "core/hotness.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hmm {
+
+SlotClockTracker::SlotClockTracker(SlotId slots)
+    : ref_(slots, 0), counts_(slots, 0) {
+  assert(slots > 0);
+}
+
+void SlotClockTracker::record_access(SlotId s) noexcept {
+  ref_[s] = 1;
+  ++counts_[s];
+}
+
+void SlotClockTracker::reset_epoch() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+MultiQueueTracker::MultiQueueTracker(unsigned levels,
+                                     unsigned entries_per_level)
+    : levels_(levels), capacity_(entries_per_level), queues_(levels) {
+  assert(levels > 0 && entries_per_level > 0);
+  for (auto& q : queues_) q.reserve(entries_per_level);
+}
+
+void MultiQueueTracker::reindex(unsigned level) noexcept {
+  for (std::size_t i = 0; i < queues_[level].size(); ++i)
+    index_[queues_[level][i].page] = Pos{level, i};
+}
+
+void MultiQueueTracker::insert(unsigned level, Entry e) noexcept {
+  auto& q = queues_[level];
+  q.insert(q.begin(), e);
+  if (q.size() > capacity_) {
+    Entry demoted = q.back();
+    q.pop_back();
+    if (level > 0) {
+      reindex(level);
+      insert(level - 1, demoted);
+      return;
+    }
+    index_.erase(demoted.page);
+  }
+  reindex(level);
+}
+
+void MultiQueueTracker::promote_if_due(unsigned level,
+                                       std::size_t idx) noexcept {
+  // Classic MQ promotion rule: an entry moves up when its access count
+  // reaches 2^(level+1).
+  Entry e = queues_[level][idx];
+  if (level + 1 >= levels_ || e.count < (1ull << (level + 1))) {
+    // Just refresh to the MRU position of its level.
+    auto& q = queues_[level];
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    q.insert(q.begin(), e);
+    reindex(level);
+    return;
+  }
+  auto& q = queues_[level];
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+  reindex(level);
+  insert(level + 1, e);
+}
+
+void MultiQueueTracker::record_access(PageId p, std::uint32_t sb) noexcept {
+  const auto it = index_.find(p);
+  if (it != index_.end()) {
+    const Pos pos = it->second;
+    Entry& e = queues_[pos.level][pos.idx];
+    assert(e.page == p);
+    ++e.count;
+    e.last_sub_block = sb;
+    promote_if_due(pos.level, pos.idx);
+    return;
+  }
+  insert(0, Entry{p, 1, sb});
+}
+
+MultiQueueTracker::Hottest MultiQueueTracker::hottest() const noexcept {
+  Hottest best;
+  for (const auto& q : queues_) {
+    for (const Entry& e : q) {
+      if (!best.found || e.count > best.epoch_count) {
+        best = Hottest{e.page, e.count, e.last_sub_block, true};
+      }
+    }
+  }
+  return best;
+}
+
+void MultiQueueTracker::reset_epoch() noexcept {
+  for (unsigned l = 0; l < levels_; ++l) {
+    auto& q = queues_[l];
+    for (auto it = q.begin(); it != q.end();) {
+      it->count /= 2;
+      if (it->count == 0) {
+        index_.erase(it->page);
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reindex(l);
+  }
+}
+
+void MultiQueueTracker::erase(PageId p) noexcept {
+  const auto it = index_.find(p);
+  if (it == index_.end()) return;
+  const Pos pos = it->second;
+  auto& q = queues_[pos.level];
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(pos.idx));
+  index_.erase(it);
+  reindex(pos.level);
+}
+
+std::uint64_t MultiQueueTracker::bits(unsigned page_id_bits) const noexcept {
+  return static_cast<std::uint64_t>(levels_) * capacity_ * page_id_bits;
+}
+
+}  // namespace hmm

@@ -1,0 +1,141 @@
+// Access-recency/frequency trackers used by the migration controller
+// (Section III-B):
+//
+//  * SlotClockTracker — clock-based pseudo-LRU over the N on-package slots
+//    (as in real microprocessors [17]), plus a per-slot epoch access
+//    counter so the hottest-coldest comparison has a frequency to compare.
+//  * MultiQueueTracker — the multi-queue algorithm [18] approximating the
+//    MRU off-package macro page with 3 levels x 10 entries of hardware.
+//  * OracleTracker — perfect per-page epoch counts, used as an upper bound
+//    in ablation experiments (not realizable in hardware at fine grain).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hmm {
+
+class SlotClockTracker {
+ public:
+  explicit SlotClockTracker(SlotId slots);
+
+  void record_access(SlotId s) noexcept;
+
+  /// Clock sweep: returns the coldest slot among those `migratable`
+  /// (reference bits are cleared as the hand passes). Returns the slot and
+  /// its epoch access count.
+  struct Victim {
+    SlotId slot = 0;
+    std::uint64_t epoch_count = 0;
+    bool found = false;
+  };
+  template <typename Pred>
+  [[nodiscard]] Victim pick_victim(Pred&& migratable) noexcept {
+    const SlotId n = static_cast<SlotId>(ref_.size());
+    // Two full sweeps guarantee a victim if any slot is migratable.
+    for (SlotId step = 0; step < 2 * n; ++step) {
+      const SlotId s = hand_;
+      hand_ = static_cast<SlotId>((hand_ + 1) % n);
+      if (!migratable(s)) continue;
+      if (ref_[s]) {
+        ref_[s] = 0;
+        continue;
+      }
+      return Victim{s, counts_[s], true};
+    }
+    return Victim{};
+  }
+
+  [[nodiscard]] std::uint64_t epoch_count(SlotId s) const noexcept {
+    return counts_[s];
+  }
+  void reset_epoch() noexcept;
+
+  /// Hardware cost: one reference bit per slot.
+  [[nodiscard]] std::uint64_t bits() const noexcept { return ref_.size(); }
+
+ private:
+  std::vector<std::uint8_t> ref_;
+  std::vector<std::uint64_t> counts_;
+  SlotId hand_ = 0;
+};
+
+class MultiQueueTracker {
+ public:
+  MultiQueueTracker(unsigned levels, unsigned entries_per_level);
+
+  /// Record an access to off-package page p at in-page sub-block `sb`
+  /// (the sub-block seeds critical-data-first live migration).
+  void record_access(PageId p, std::uint32_t sb) noexcept;
+
+  struct Hottest {
+    PageId page = kInvalidPage;
+    std::uint64_t epoch_count = 0;
+    std::uint32_t last_sub_block = 0;
+    bool found = false;
+  };
+  /// The most frequently accessed tracked page this epoch.
+  [[nodiscard]] Hottest hottest() const noexcept;
+
+  /// Epoch boundary: age counts (halving) and drop dead entries.
+  void reset_epoch() noexcept;
+
+  /// Forget a page (it just migrated on-package).
+  void erase(PageId p) noexcept;
+
+  [[nodiscard]] std::size_t tracked() const noexcept { return index_.size(); }
+
+  /// Hardware cost: one page id per entry (Section III-B sizes this at
+  /// 3 x 10 x 26 bits for the 4MB/1GB configuration).
+  [[nodiscard]] std::uint64_t bits(unsigned page_id_bits) const noexcept;
+
+ private:
+  struct Entry {
+    PageId page = kInvalidPage;
+    std::uint64_t count = 0;
+    std::uint32_t last_sub_block = 0;
+  };
+  struct Pos {
+    unsigned level;
+    std::size_t idx;
+  };
+
+  void promote_if_due(unsigned level, std::size_t idx) noexcept;
+  /// Insert at MRU of `level`, evicting (demoting) as needed.
+  void insert(unsigned level, Entry e) noexcept;
+  void reindex(unsigned level) noexcept;
+
+  unsigned levels_;
+  unsigned capacity_;
+  // queues_[l] ordered MRU-first.
+  std::vector<std::vector<Entry>> queues_;
+  std::unordered_map<PageId, Pos> index_;
+};
+
+class OracleTracker {
+ public:
+  void record_access(PageId p, std::uint32_t sb) noexcept {
+    auto& e = counts_[p];
+    e.first += 1;
+    e.second = sb;
+  }
+  [[nodiscard]] MultiQueueTracker::Hottest hottest() const noexcept {
+    MultiQueueTracker::Hottest best;
+    for (const auto& [p, e] : counts_) {
+      if (!best.found || e.first > best.epoch_count) {
+        best = {p, e.first, e.second, true};
+      }
+    }
+    return best;
+  }
+  void reset_epoch() noexcept { counts_.clear(); }
+  void erase(PageId p) noexcept { counts_.erase(p); }
+
+ private:
+  std::unordered_map<PageId, std::pair<std::uint64_t, std::uint32_t>> counts_;
+};
+
+}  // namespace hmm

@@ -1,0 +1,332 @@
+#include "core/migration.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hmm {
+
+namespace {
+TableMutation set_row(SlotId row, PageId page) {
+  return {TableMutation::Kind::SetRow, row, page, kInvalidPage};
+}
+TableMutation set_row_empty(SlotId row) {
+  return {TableMutation::Kind::SetRowEmpty, row, kInvalidPage, kInvalidPage};
+}
+TableMutation set_pending(SlotId row) {
+  return {TableMutation::Kind::SetPending, row, kInvalidPage, kInvalidPage};
+}
+TableMutation clear_pending(SlotId row) {
+  return {TableMutation::Kind::ClearPending, row, kInvalidPage, kInvalidPage};
+}
+TableMutation note_data(PageId page, PageId machine) {
+  return {TableMutation::Kind::NoteData, 0, page, machine};
+}
+TableMutation set_occupant(SlotId row, PageId page) {
+  return {TableMutation::Kind::SetOccupant, row, page, kInvalidPage};
+}
+}  // namespace
+
+MigrationEngine::MigrationEngine(TranslationTable& table,
+                                 DramSystem& on_package,
+                                 DramSystem& off_package, const Config& cfg)
+    : table_(table), on_(on_package), off_(off_package), cfg_(cfg) {
+  assert((cfg.design == MigrationDesign::N) ==
+         (table.mode() == TableMode::FunctionalN));
+}
+
+std::uint64_t MigrationEngine::chunk_size() const noexcept {
+  const Geometry& g = table_.geometry();
+  if (cfg_.chunk_bytes != 0) return std::min(cfg_.chunk_bytes, g.page_bytes);
+  // Auto: small enough that one chunk's data-bus hold is comparable to a
+  // row miss (so demand traffic is barely perturbed, as a real controller
+  // interleaving at burst granularity would behave), large enough that a
+  // 4MB page copy stays within a few thousand scheduler events.
+  const std::uint64_t by_page = g.page_bytes / 4096;
+  return std::clamp<std::uint64_t>(by_page, 512, 4 * KiB);
+}
+
+bool MigrationEngine::can_swap(PageId hot, SlotId cold_slot) const noexcept {
+  if (!idle()) return false;
+  const Geometry& g = table_.geometry();
+  if (hot >= g.total_pages() || hot == g.omega()) return false;
+  if (cold_slot >= g.slots()) return false;
+  const PageId cold = table_.occupant(cold_slot);
+  if (cold == kInvalidPage) return false;  // the empty slot
+  if (table_.pending(cold_slot)) return false;
+  // Hot page must actually be off-package right now.
+  const PageCategory cat = table_.category(hot);
+  if (cat == PageCategory::OriginalFast || cat == PageCategory::MigratedFast)
+    return false;
+  if (table_.mode() == TableMode::HardwareNMinus1) {
+    if (!table_.empty_slot().has_value() &&
+        table_.category(hot) != PageCategory::Ghost)
+      return false;
+    // Exclude c == e': the victim may not be the page occupying the hot
+    // page's own slot (phase 1 is about to relocate that occupant).
+    if (hot < g.slots() && table_.occupant(static_cast<SlotId>(hot)) == cold)
+      return false;
+  }
+  return true;
+}
+
+std::vector<CopyStep> MigrationEngine::plan_swap(
+    PageId hot, std::uint32_t hot_sub_block, SlotId cold_slot) const {
+  const Geometry& g = table_.geometry();
+  const PageId n = g.slots();
+  const std::uint64_t page = g.page_bytes;
+  const MachAddr omega = g.machine_base(g.omega());
+  const PageId cold = table_.occupant(cold_slot);
+  std::vector<CopyStep> plan;
+
+  auto slot_base = [&](SlotId s) { return g.machine_base(s); };
+  auto fill = [&](CopyStep& st, SlotId slot, PageId p, MachAddr old_base) {
+    st.live_fill = cfg_.design == MigrationDesign::LiveMigration;
+    st.fill_slot = slot;
+    st.fill_page = p;
+    st.fill_old_base = old_base;
+    st.start_sub_block = cfg_.critical_first ? hot_sub_block : 0;
+  };
+
+  if (cfg_.design == MigrationDesign::N) {
+    // Functional model of the basic design: a direct (buffered) exchange;
+    // the controller stalls demand for the whole duration, and the table
+    // is written once at the end.
+    const PageId mh = g.page_of(table_.location_of(hot));
+    CopyStep out;  // cold page leaves the slot
+    out.src = slot_base(cold_slot);
+    out.dst = g.machine_base(mh);
+    out.bytes = page;
+    plan.push_back(out);
+    CopyStep in;  // hot page enters the slot
+    in.src = g.machine_base(mh);
+    in.dst = slot_base(cold_slot);
+    in.bytes = page;
+    in.after = {set_occupant(cold_slot, hot), note_data(hot, cold_slot),
+                note_data(cold, mh)};
+    plan.push_back(in);
+    return plan;
+  }
+
+  // ---- N-1 / Live migration: the Fig 8 choreography -----------------------
+  // Phase 1: bring the hot page on-package.
+  if (hot < n && table_.occupant(static_cast<SlotId>(hot)) == kInvalidPage) {
+    // The hot page is the Ghost page itself: refill its own (empty) slot.
+    const auto e = static_cast<SlotId>(hot);
+    CopyStep s1;
+    s1.src = omega;
+    s1.dst = slot_base(e);
+    s1.bytes = page;
+    fill(s1, e, hot, omega);
+    s1.after = {set_row(e, hot), note_data(hot, hot)};
+    plan.push_back(s1);
+  } else if (hot >= n) {
+    // Fig 8(a)/(b): hot is an Original Slow page living at its own home.
+    const SlotId e = *table_.empty_slot();
+    const PageId ghost = e;  // the empty row's left page is the Ghost page
+    CopyStep s1;
+    s1.src = g.machine_base(hot);
+    s1.dst = slot_base(e);
+    s1.bytes = page;
+    fill(s1, e, hot, g.machine_base(hot));
+    s1.after = {set_row(e, hot), set_pending(e), note_data(hot, e)};
+    plan.push_back(s1);
+    CopyStep s2;  // ghost page's data leaves Ω for the hot page's old home
+    s2.src = omega;
+    s2.dst = g.machine_base(hot);
+    s2.bytes = page;
+    s2.after = {clear_pending(e), note_data(ghost, hot)};
+    plan.push_back(s2);
+  } else {
+    // Fig 8(c)/(d): hot is a Migrated Slow page; its slot is occupied by
+    // partner page e' and its data lives at e's off-package home.
+    const auto hslot = static_cast<SlotId>(hot);
+    const PageId partner = table_.occupant(hslot);
+    assert(partner != kInvalidPage && partner >= n);
+    const SlotId e = *table_.empty_slot();
+    const PageId ghost = e;
+    CopyStep s1;  // partner moves from the hot page's slot to the empty slot
+    s1.src = slot_base(hslot);
+    s1.dst = slot_base(e);
+    s1.bytes = page;
+    s1.after = {set_row(e, partner), set_pending(e), note_data(partner, e)};
+    plan.push_back(s1);
+    CopyStep s2;  // hot page comes home to its own slot
+    s2.src = g.machine_base(partner);
+    s2.dst = slot_base(hslot);
+    s2.bytes = page;
+    fill(s2, hslot, hot, g.machine_base(partner));
+    s2.after = {set_row(hslot, hot), note_data(hot, hot)};
+    plan.push_back(s2);
+    CopyStep s3;  // ghost page's data leaves Ω for the partner's home
+    s3.src = omega;
+    s3.dst = g.machine_base(partner);
+    s3.bytes = page;
+    s3.after = {clear_pending(e), note_data(ghost, partner)};
+    plan.push_back(s3);
+  }
+
+  // Phase 2: retire the cold page to Ω; its slot becomes the new empty slot.
+  if (cold < n) {
+    // Original Fast: slot index == page id.
+    const auto cslot = static_cast<SlotId>(cold);
+    CopyStep s4;
+    s4.src = slot_base(cslot);
+    s4.dst = omega;
+    s4.bytes = page;
+    s4.after = {set_row_empty(cslot), note_data(cold, g.omega())};
+    plan.push_back(s4);
+  } else {
+    // Migrated Fast: the slot's left page parks at Ω, the cold page goes
+    // back to its own home.
+    const SlotId s = cold_slot;
+    CopyStep s4;
+    s4.src = g.machine_base(cold);  // left page's data is at cold's home
+    s4.dst = omega;
+    s4.bytes = page;
+    s4.after = {set_pending(s), note_data(s, g.omega())};
+    plan.push_back(s4);
+    CopyStep s5;
+    s5.src = slot_base(s);
+    s5.dst = g.machine_base(cold);
+    s5.bytes = page;
+    s5.after = {set_row_empty(s), clear_pending(s), note_data(cold, cold)};
+    plan.push_back(s5);
+  }
+  return plan;
+}
+
+bool MigrationEngine::start_swap(PageId hot, std::uint32_t hot_sub_block,
+                                 SlotId cold_slot, Cycle now) {
+  if (!can_swap(hot, cold_slot)) return false;
+  steps_ = plan_swap(hot, hot_sub_block, cold_slot);
+  assert(!steps_.empty());
+  ++stats_.swaps_started;
+  swap_began_ = now;
+  if (instant_) {
+    // Fast-forward: apply the choreography's end state without copies.
+    for (const CopyStep& st : steps_)
+      for (const TableMutation& m : st.after) apply(m);
+    steps_.clear();
+    ++stats_.swaps_completed;
+    return true;
+  }
+  begin_step(now);
+  return true;
+}
+
+std::uint64_t MigrationEngine::chunk_offset(std::uint64_t k) const noexcept {
+  const std::uint64_t idx = (first_chunk_ + k) % chunks_total_;
+  return idx * chunk_size();
+}
+
+void MigrationEngine::begin_step(Cycle at) {
+  const CopyStep& st = steps_.front();
+  const std::uint64_t chunk = chunk_size();
+  chunks_total_ = std::max<std::uint64_t>(1, st.bytes / chunk);
+  next_chunk_ = 0;
+  chunks_completed_ = 0;
+  first_chunk_ = 0;
+  if (st.live_fill) {
+    const Geometry& g = table_.geometry();
+    table_.begin_fill(st.fill_slot, st.fill_page, st.fill_old_base);
+    const std::uint64_t start_byte =
+        static_cast<std::uint64_t>(st.start_sub_block) * g.sub_block_bytes;
+    first_chunk_ = (start_byte / chunk) % chunks_total_;
+  }
+  const unsigned window = std::max(1u, cfg_.copy_window);
+  while (next_chunk_ < chunks_total_ && next_chunk_ < window)
+    submit_read(next_chunk_++, at);
+}
+
+void MigrationEngine::submit_read(std::uint64_t chunk, Cycle at) {
+  const CopyStep& st = steps_.front();
+  const MachAddr addr = st.src + chunk_offset(chunk);
+  const Geometry& g = table_.geometry();
+  DramSystem& sys = g.region_of(addr) == Region::OnPackage ? on_ : off_;
+  const RequestId id = sys.submit(
+      addr, static_cast<std::uint32_t>(chunk_size()), AccessType::Read,
+      Priority::Background, at, static_cast<int>(chunk));
+  inflight_[key(sys.region(), id)] = InFlightChunk{chunk, false};
+}
+
+void MigrationEngine::submit_write(std::uint64_t chunk, Cycle at) {
+  const CopyStep& st = steps_.front();
+  const MachAddr addr = st.dst + chunk_offset(chunk);
+  const Geometry& g = table_.geometry();
+  DramSystem& sys = g.region_of(addr) == Region::OnPackage ? on_ : off_;
+  const RequestId id = sys.submit(
+      addr, static_cast<std::uint32_t>(chunk_size()), AccessType::Write,
+      Priority::Background, at, static_cast<int>(chunk));
+  inflight_[key(sys.region(), id)] = InFlightChunk{chunk, true};
+}
+
+void MigrationEngine::on_completion(const DramCompletion& c, Region from) {
+  if (c.priority != Priority::Background) return;
+  const auto it = inflight_.find(key(from, c.id));
+  if (it == inflight_.end()) return;
+  const InFlightChunk fc = it->second;
+  inflight_.erase(it);
+
+  if (!fc.write_phase) {
+    submit_write(fc.chunk, c.finish);
+    return;
+  }
+
+  // Write landed: the chunk is complete.
+  const Geometry& g = table_.geometry();
+  const CopyStep& st = steps_.front();
+  const std::uint64_t offset = chunk_offset(fc.chunk);
+  stats_.bytes_copied += chunk_size();
+  if (st.live_fill) {
+    // A sub-block becomes servable only once its LAST byte has been
+    // copied (chunks may be smaller than a sub-block; within a sub-block
+    // chunks complete in order on the serialized channel, so last-byte
+    // completion implies the whole sub-block arrived).
+    const std::uint64_t sub = g.sub_block_bytes;
+    const std::uint64_t end = offset + chunk_size();
+    for (std::uint64_t b = (offset / sub) * sub; b < end; b += sub) {
+      if (b + sub <= end) table_.mark_sub_block(g.sub_block_of(b));
+    }
+  }
+  ++chunks_completed_;
+  if (next_chunk_ < chunks_total_) {
+    submit_read(next_chunk_++, c.finish);
+  } else if (chunks_completed_ == chunks_total_ && inflight_.empty()) {
+    finish_step(c.finish);
+  }
+}
+
+void MigrationEngine::apply(const TableMutation& m) {
+  ++stats_.table_updates;
+  switch (m.kind) {
+    case TableMutation::Kind::SetRow: table_.set_row(m.row, m.page); break;
+    case TableMutation::Kind::SetRowEmpty: table_.set_row_empty(m.row); break;
+    case TableMutation::Kind::SetPending: table_.set_pending(m.row, true); break;
+    case TableMutation::Kind::ClearPending:
+      table_.set_pending(m.row, false);
+      break;
+    case TableMutation::Kind::NoteData: table_.note_data_at(m.page, m.machine); break;
+    case TableMutation::Kind::SetOccupant:
+      table_.set_occupant(m.row, m.page);
+      break;
+  }
+}
+
+void MigrationEngine::finish_step(Cycle at) {
+  CopyStep st = std::move(steps_.front());
+  steps_.erase(steps_.begin());
+  if (st.live_fill) {
+    for (const TableMutation& m : st.after) apply(m);
+    table_.end_fill();
+  } else {
+    for (const TableMutation& m : st.after) apply(m);
+  }
+  if (!steps_.empty()) {
+    begin_step(at);
+    return;
+  }
+  ++stats_.swaps_completed;
+  stats_.busy_cycles += at - swap_began_;
+}
+
+}  // namespace hmm

@@ -1,0 +1,158 @@
+// The migration controller's data-movement engine (Section III).
+//
+// A swap is planned as a short sequence of page copies; each copy streams
+// through the DRAM channel models as Background-priority chunk requests
+// (one chunk in flight: read from the source region, then write to the
+// destination region), so migration bandwidth is stolen from real bus gaps
+// and demand traffic sees genuine interference.
+//
+// Translation-table mutations are attached to step completions, exactly as
+// the paper's choreography requires (Fig 8(a)-(d)): the data being moved
+// always has one valid physical home, so execution never halts in the
+// N-1 designs. The plan built for the paper's Fig 8(d) worked example
+// reproduces its 10 steps one-for-one (see tests/migration_plan_test.cc).
+//
+// Designs:
+//   N              — basic: table updated only after the whole swap; the
+//                    controller must stall demand until the swap finishes.
+//   NMinus1        — empty slot + P bit; background copy, old home serves
+//                    the hot page until its copy lands.
+//   LiveMigration  — N-1 plus F bit and a sub-block bitmap; the hot page
+//                    is served from the partially-filled slot, and the copy
+//                    starts at the critical (most recently used) sub-block.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/translation_table.hh"
+#include "dram/dram_system.hh"
+
+namespace hmm {
+
+enum class MigrationDesign : std::uint8_t { N, NMinus1, LiveMigration };
+
+[[nodiscard]] constexpr const char* to_string(MigrationDesign d) noexcept {
+  switch (d) {
+    case MigrationDesign::N: return "N";
+    case MigrationDesign::NMinus1: return "N-1";
+    case MigrationDesign::LiveMigration: return "Live";
+  }
+  return "?";
+}
+
+/// One table mutation, applied when the owning copy step completes.
+struct TableMutation {
+  enum class Kind : std::uint8_t {
+    SetRow,        ///< row = `row`, occupant = `page`
+    SetRowEmpty,   ///< row = `row`
+    SetPending,    ///< row = `row`
+    ClearPending,  ///< row = `row`
+    NoteData,      ///< page `page` now lives at machine page `machine`
+    SetOccupant,   ///< FunctionalN bookkeeping
+  };
+  Kind kind;
+  SlotId row = 0;
+  PageId page = kInvalidPage;
+  PageId machine = kInvalidPage;
+};
+
+/// One streamed page copy inside a swap plan.
+struct CopyStep {
+  MachAddr src = 0;
+  MachAddr dst = 0;
+  std::uint64_t bytes = 0;
+  bool live_fill = false;        ///< route through F bit + bitmap
+  SlotId fill_slot = 0;          ///< destination slot when live_fill
+  PageId fill_page = kInvalidPage;
+  MachAddr fill_old_base = 0;    ///< where unfilled sub-blocks are served
+  std::uint32_t start_sub_block = 0;  ///< critical-data-first start
+  std::vector<TableMutation> after;
+};
+
+class MigrationEngine {
+ public:
+  struct Config {
+    MigrationDesign design = MigrationDesign::LiveMigration;
+    bool critical_first = true;   ///< live: start the fill at the MRU block
+    std::uint64_t chunk_bytes = 0;  ///< 0 = auto (see chunk_size())
+    /// Copy chunks kept in flight: pipelines the read and write sides so
+    /// the copy runs at the slower channel's full rate (the paper's
+    /// 374us-per-4MB figure assumes exactly that).
+    unsigned copy_window = 4;
+  };
+
+  struct Stats {
+    std::uint64_t swaps_started = 0;
+    std::uint64_t swaps_completed = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t table_updates = 0;
+    Cycle busy_cycles = 0;  ///< summed wall-clock of active swaps
+  };
+
+  MigrationEngine(TranslationTable& table, DramSystem& on_package,
+                  DramSystem& off_package, const Config& cfg);
+
+  [[nodiscard]] bool idle() const noexcept { return steps_.empty(); }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Instant mode: swaps apply their table mutations immediately with no
+  /// copy traffic — used to fast-forward a warm-up phase to the placement
+  /// steady state that the paper's trillion-reference traces reach (see
+  /// EXPERIMENTS.md "warm-up methodology"). Never use while measuring.
+  void set_instant(bool on) noexcept { instant_ = on; }
+  [[nodiscard]] bool instant() const noexcept { return instant_; }
+
+  /// True if (hot, cold_slot) is a swap this engine can start now.
+  [[nodiscard]] bool can_swap(PageId hot, SlotId cold_slot) const noexcept;
+
+  /// Plan and begin the hottest-coldest swap. `hot_sub_block` seeds
+  /// critical-data-first. Returns false if busy or the pair is invalid.
+  bool start_swap(PageId hot, std::uint32_t hot_sub_block, SlotId cold_slot,
+                  Cycle now);
+
+  /// Feed every Background completion from either region back here.
+  void on_completion(const DramCompletion& c, Region from);
+
+  /// Plan builder exposed for unit tests (pure; does not mutate anything).
+  [[nodiscard]] std::vector<CopyStep> plan_swap(PageId hot,
+                                                std::uint32_t hot_sub_block,
+                                                SlotId cold_slot) const;
+
+ private:
+  [[nodiscard]] std::uint64_t chunk_size() const noexcept;
+  void begin_step(Cycle at);
+  void submit_read(std::uint64_t chunk, Cycle at);
+  void submit_write(std::uint64_t chunk, Cycle at);
+  void finish_step(Cycle at);
+  void apply(const TableMutation& m);
+  /// Chunk index (in fill order) -> byte offset within the page.
+  [[nodiscard]] std::uint64_t chunk_offset(std::uint64_t k) const noexcept;
+  [[nodiscard]] static std::uint64_t key(Region r, RequestId id) noexcept {
+    return (r == Region::OnPackage ? (1ull << 63) : 0) | id;
+  }
+
+  TranslationTable& table_;
+  DramSystem& on_;
+  DramSystem& off_;
+  Config cfg_;
+  Stats stats_;
+
+  std::vector<CopyStep> steps_;  ///< remaining steps, front = current
+  std::uint64_t chunks_total_ = 0;
+  std::uint64_t next_chunk_ = 0;       ///< next chunk to start reading
+  std::uint64_t chunks_completed_ = 0;
+  std::uint64_t first_chunk_ = 0;  ///< rotation start (critical-first)
+  struct InFlightChunk {
+    std::uint64_t chunk = 0;
+    bool write_phase = false;
+  };
+  std::unordered_map<std::uint64_t, InFlightChunk> inflight_;
+  Cycle swap_began_ = 0;
+  bool instant_ = false;
+};
+
+}  // namespace hmm

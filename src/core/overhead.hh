@@ -1,0 +1,46 @@
+// Hardware-cost model of the pure-hardware migration scheme (Section III-B,
+// Fig 10): translation table + fill bitmap + pseudo-LRU bits + multi-queue.
+//
+// Reference point from the paper (1GB on-package, 4MB macro pages, 48-bit
+// physical space): 256 x (26+2) = 7,168 table bits, 1,024 fill-bitmap bits,
+// 256 pseudo-LRU bits, 3 x 10 x 26 = 780 multi-queue bits => 9,228 bits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/params.hh"
+#include "common/units.hh"
+
+namespace hmm {
+
+struct HardwareOverhead {
+  std::uint64_t table_bits = 0;
+  std::uint64_t fill_bitmap_bits = 0;
+  std::uint64_t plru_bits = 0;
+  std::uint64_t multi_queue_bits = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return table_bits + fill_bitmap_bits + plru_bits + multi_queue_bits;
+  }
+};
+
+/// Bit cost of managing `on_package_bytes` of fast memory at `page_bytes`
+/// granularity in an `address_bits`-bit physical space.
+[[nodiscard]] inline HardwareOverhead
+migration_hardware_overhead(std::uint64_t on_package_bytes,
+                            std::uint64_t page_bytes,
+                            unsigned address_bits = 48,
+                            std::uint64_t sub_block_bytes = 4 * KiB) {
+  HardwareOverhead o;
+  const std::uint64_t slots = on_package_bytes / page_bytes;
+  const unsigned id_bits = address_bits - log2_exact(page_bytes);
+  o.table_bits = slots * (id_bits + 2);  // right column + P bit + F bit
+  o.fill_bitmap_bits =
+      page_bytes > sub_block_bytes ? page_bytes / sub_block_bytes : 1;
+  o.plru_bits = slots;  // one clock reference bit per slot
+  o.multi_queue_bits = static_cast<std::uint64_t>(params::kMultiQueueLevels) *
+                       params::kMultiQueueEntriesPerLevel * id_bits;
+  return o;
+}
+
+}  // namespace hmm

@@ -1,0 +1,215 @@
+#include "core/translation_table.hh"
+
+#include <cassert>
+#include <string>
+
+namespace hmm {
+
+TranslationTable::TranslationTable(const Geometry& g, TableMode mode)
+    : geom_(g), mode_(mode), slots_(g.slots()), rows_(g.slots()) {
+  assert(g.valid());
+  for (SlotId s = 0; s < slots_; ++s) rows_[s].occupant = s;
+  if (mode_ == TableMode::HardwareNMinus1) {
+    // The last slot starts empty; its left page is the initial Ghost page,
+    // parked at Ω by the boot-time driver (Section III-A).
+    const SlotId last = static_cast<SlotId>(slots_ - 1);
+    rows_[last].occupant = kInvalidPage;
+    empty_cache_ = last;
+    location_[last] = geom_.omega();
+  }
+}
+
+PageId TranslationTable::shadow_location(PageId p) const noexcept {
+  const auto it = location_.find(p);
+  return it == location_.end() ? p : it->second;
+}
+
+MachAddr TranslationTable::location_of(PageId p) const noexcept {
+  return geom_.machine_base(shadow_location(p));
+}
+
+PageId TranslationTable::occupant(SlotId s) const noexcept {
+  return rows_[s].occupant;
+}
+
+std::optional<SlotId> TranslationTable::empty_slot() const noexcept {
+  return empty_cache_;
+}
+
+bool TranslationTable::pending(SlotId s) const noexcept {
+  return rows_[s].pending;
+}
+
+Route TranslationTable::translate(PhysAddr addr) const noexcept {
+  const PageId p = geom_.page_of(addr);
+  const std::uint64_t off = geom_.offset_of(addr);
+
+  // Live migration: the filling page is routed sub-block by sub-block.
+  if (fill_active_ && p == fill_page_) {
+    const std::uint32_t sb = geom_.sub_block_of(off);
+    if (fill_bitmap_[sb]) {
+      const MachAddr m = geom_.machine_base(fill_slot_) + off;
+      return Route{Region::OnPackage, m, true};
+    }
+    return Route{geom_.region_of(fill_old_base_), fill_old_base_ + off, false};
+  }
+
+  PageId machine_page;
+  if (mode_ == TableMode::FunctionalN) {
+    machine_page = shadow_location(p);
+  } else if (p < slots_) {
+    const RowState& row = rows_[static_cast<SlotId>(p)];
+    if (row.pending || row.occupant == kInvalidPage) {
+      machine_page = geom_.omega();  // data parked at the reserved page
+    } else {
+      // occupant == p: OF, slot p. occupant == q: MS, parked at q's home.
+      machine_page = row.occupant;
+    }
+  } else {
+    const auto it = slot_of_.find(p);
+    machine_page = (it != slot_of_.end()) ? it->second : p;  // MF : OS
+  }
+
+  const MachAddr m = geom_.machine_base(machine_page) + off;
+  return Route{geom_.region_of(m), m, false};
+}
+
+PageCategory TranslationTable::category(PageId p) const noexcept {
+  if (mode_ == TableMode::FunctionalN) {
+    const PageId loc = shadow_location(p);
+    const bool fast = loc < slots_;
+    if (p < slots_) return fast ? PageCategory::OriginalFast
+                                : PageCategory::MigratedSlow;
+    return fast ? PageCategory::MigratedFast : PageCategory::OriginalSlow;
+  }
+  if (p < slots_) {
+    const RowState& row = rows_[static_cast<SlotId>(p)];
+    if (row.occupant == kInvalidPage || row.pending) return PageCategory::Ghost;
+    return row.occupant == p ? PageCategory::OriginalFast
+                             : PageCategory::MigratedSlow;
+  }
+  return slot_of_.count(p) != 0 ? PageCategory::MigratedFast
+                                : PageCategory::OriginalSlow;
+}
+
+void TranslationTable::set_row(SlotId row, PageId page) {
+  RowState& r = rows_[row];
+  if (r.occupant != kInvalidPage && r.occupant >= slots_) {
+    // Drop the displaced page's CAM entry — unless that page has already
+    // re-registered in another slot mid-choreography (e.g. the partner
+    // page of Fig 8(c)/(d) moves to the empty slot before its old row is
+    // rewritten; the stale row must not clobber the fresh entry).
+    const auto it = slot_of_.find(r.occupant);
+    if (it != slot_of_.end() && it->second == row) slot_of_.erase(it);
+  }
+  r.occupant = page;
+  if (page >= slots_) slot_of_[page] = row;
+  if (empty_cache_ == row) empty_cache_.reset();
+}
+
+void TranslationTable::set_row_empty(SlotId row) {
+  RowState& r = rows_[row];
+  if (r.occupant != kInvalidPage && r.occupant >= slots_) {
+    const auto it = slot_of_.find(r.occupant);
+    if (it != slot_of_.end() && it->second == row) slot_of_.erase(it);
+  }
+  r.occupant = kInvalidPage;
+  empty_cache_ = row;
+}
+
+void TranslationTable::set_pending(SlotId row, bool value) {
+  rows_[row].pending = value;
+}
+
+void TranslationTable::begin_fill(SlotId slot, PageId page,
+                                  MachAddr old_base) {
+  assert(!fill_active_);
+  fill_active_ = true;
+  fill_slot_ = slot;
+  fill_page_ = page;
+  fill_old_base_ = old_base;
+  fill_bitmap_.assign(geom_.sub_blocks_per_page(), false);
+}
+
+void TranslationTable::mark_sub_block(std::uint32_t index) {
+  assert(fill_active_ && index < fill_bitmap_.size());
+  fill_bitmap_[index] = true;
+}
+
+bool TranslationTable::sub_block_ready(std::uint32_t index) const noexcept {
+  return fill_active_ && index < fill_bitmap_.size() && fill_bitmap_[index];
+}
+
+void TranslationTable::end_fill() {
+  assert(fill_active_);
+  fill_active_ = false;
+  fill_page_ = kInvalidPage;
+}
+
+void TranslationTable::note_data_at(PageId p, PageId machine_page) {
+  if (machine_page == p)
+    location_.erase(p);
+  else
+    location_[p] = machine_page;
+}
+
+void TranslationTable::set_occupant(SlotId s, PageId page) {
+  rows_[s].occupant = page;
+}
+
+std::string TranslationTable::validate() const {
+  if (mode_ == TableMode::FunctionalN) {
+    // Placement map must be a bijection on its exceptional entries.
+    std::unordered_map<PageId, PageId> inverse;
+    for (const auto& [p, m] : location_) {
+      if (!inverse.emplace(m, p).second)
+        return "two pages mapped to the same machine page";
+    }
+    return {};
+  }
+
+  unsigned empties = 0;
+  unsigned pendings = 0;
+  for (SlotId s = 0; s < slots_; ++s) {
+    const RowState& r = rows_[s];
+    if (r.occupant == kInvalidPage) ++empties;
+    if (r.pending) ++pendings;
+    if (r.occupant != kInvalidPage && r.occupant < slots_ &&
+        r.occupant != s)
+      return "page id < N stored outside its own slot";
+    if (r.occupant != kInvalidPage && r.occupant >= slots_) {
+      // Mid-choreography a page may transiently appear in two rows (its
+      // data is duplicated); the CAM entry must exist and take priority.
+      if (slot_of_.count(r.occupant) == 0)
+        return "CAM out of sync with the right column";
+    }
+  }
+  if (empties > 1) return "more than one empty slot";
+  if (pendings > 1) return "more than one pending row";
+
+  // During a fill the encoding intentionally disagrees for the fill page;
+  // everywhere else the encoding must reproduce the placement truth.
+  for (SlotId s = 0; s < slots_; ++s) {
+    const PageId p = s;
+    if (fill_active_ && p == fill_page_) continue;
+    const Route r = translate(geom_.machine_base(p));
+    const MachAddr want = location_of(p);
+    if (r.mach != want) return "encoding disagrees with placement (p < N)";
+  }
+  for (const auto& [page, slot] : slot_of_) {
+    if (fill_active_ && page == fill_page_) continue;
+    const Route r = translate(geom_.machine_base(page));
+    if (r.mach != geom_.machine_base(slot))
+      return "CAM translation disagrees with slot";
+    if (shadow_location(page) != slot)
+      return "encoding disagrees with placement (p >= N)";
+  }
+  return {};
+}
+
+std::uint64_t TranslationTable::table_bits() const noexcept {
+  const unsigned id_bits = log2_floor(ceil_pow2(geom_.total_pages()));
+  return static_cast<std::uint64_t>(slots_) * (id_bits + 2);
+}
+
+}  // namespace hmm

@@ -1,0 +1,135 @@
+// The physical->machine translation table of the heterogeneity-aware
+// memory controller (Section III-A, Figs 6/7/9).
+//
+// One row per on-package slot. The left column is the row index itself;
+// the right column records which macro page currently occupies that slot.
+// The table is bidirectional: for page ids < N it is indexed directly
+// (RAM function); for ids >= N the right column is searched (CAM function,
+// modelled here with a hash map).
+//
+// Encoding invariants of the N-1 design (proved by the swap choreography
+// and checked by validate()):
+//   * a page p < N that is on-package can only ever sit in slot p, so
+//     row p with occupant == p means "p is on-package" (OF);
+//   * swaps are pairwise, so row p with occupant == q (q >= N) means both
+//     "q occupies slot p" (MF) and "p's data lives at q's home" (MS);
+//   * exactly one row is marked empty; its left page is the Ghost page,
+//     whose data lives at the reserved off-package page Ω;
+//   * a set P (pending) bit overrides the RAM function: the row's left
+//     page is translated to Ω while its relocation is in flight;
+//   * a set F (filling) bit plus the sub-block bitmap route accesses to the
+//     incoming page between its old home and the partially-filled slot
+//     (live migration, Fig 9).
+//
+// Mode FunctionalN models the paper's basic N design (no empty slot, no
+// P/F bits): translation is served from the explicit placement map, since
+// the pairwise encoding cannot express the transient states N would need —
+// the paper's N design simply halts execution during a swap instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/geometry.hh"
+
+namespace hmm {
+
+enum class TableMode : std::uint8_t { FunctionalN, HardwareNMinus1 };
+
+/// Macro-page categories of Section III-A.
+enum class PageCategory : std::uint8_t {
+  OriginalFast,   ///< id < N, data in its own slot
+  OriginalSlow,   ///< id >= N, data at its off-package home
+  MigratedFast,   ///< id >= N, data in some on-package slot
+  MigratedSlow,   ///< id < N, data at another page's off-package home
+  Ghost,          ///< id < N, data at the reserved page Ω
+};
+
+struct Route {
+  Region region = Region::OffPackage;
+  MachAddr mach = 0;
+  bool served_by_fill_slot = false;  ///< live-migration bitmap hit
+};
+
+class TranslationTable {
+ public:
+  TranslationTable(const Geometry& g, TableMode mode);
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] TableMode mode() const noexcept { return mode_; }
+
+  /// Physical -> machine translation (the controller's front stage).
+  [[nodiscard]] Route translate(PhysAddr addr) const noexcept;
+
+  [[nodiscard]] PageCategory category(PageId p) const noexcept;
+
+  /// Machine base address of page p's current data home.
+  [[nodiscard]] MachAddr location_of(PageId p) const noexcept;
+
+  /// Page occupying slot s (kInvalidPage when the slot is empty).
+  [[nodiscard]] PageId occupant(SlotId s) const noexcept;
+
+  /// The empty slot of the N-1 design (nullopt in FunctionalN mode or in
+  /// the transient window while the hot page fills the former empty slot).
+  [[nodiscard]] std::optional<SlotId> empty_slot() const noexcept;
+
+  [[nodiscard]] bool pending(SlotId s) const noexcept;
+  [[nodiscard]] bool fill_active() const noexcept { return fill_active_; }
+  [[nodiscard]] PageId fill_page() const noexcept { return fill_page_; }
+
+  // --- mutations driven by the migration engine ----------------------------
+  /// Write the right column of `row` (activates the CAM entry for page).
+  void set_row(SlotId row, PageId page);
+  /// Mark `row` empty (its left page becomes the Ghost page).
+  void set_row_empty(SlotId row);
+  void set_pending(SlotId row, bool value);
+
+  /// Live migration: page `page` starts filling `slot`; until end_fill(),
+  /// unfilled sub-blocks are routed to `old_base`.
+  void begin_fill(SlotId slot, PageId page, MachAddr old_base);
+  void mark_sub_block(std::uint32_t index);
+  [[nodiscard]] bool sub_block_ready(std::uint32_t index) const noexcept;
+  void end_fill();
+
+  /// Record that page p's data now physically lives at machine page `m`
+  /// (the model's placement truth; in HardwareNMinus1 mode it is used only
+  /// for validation, in FunctionalN mode it backs translation).
+  void note_data_at(PageId p, PageId machine_page);
+
+  /// FunctionalN bookkeeping: page `page` now occupies slot `s`.
+  void set_occupant(SlotId s, PageId page);
+
+  /// Cross-checks the hardware encoding against the placement map and the
+  /// structural invariants; returns an error description or empty string.
+  [[nodiscard]] std::string validate() const;
+
+  /// Hardware cost of this table in bits (entry = id bits + P + F).
+  [[nodiscard]] std::uint64_t table_bits() const noexcept;
+
+ private:
+  struct RowState {
+    PageId occupant = kInvalidPage;  ///< kInvalidPage == marked empty
+    bool pending = false;
+  };
+
+  [[nodiscard]] PageId shadow_location(PageId p) const noexcept;
+
+  Geometry geom_;
+  TableMode mode_;
+  PageId slots_;  ///< N
+  std::vector<RowState> rows_;
+  std::unordered_map<PageId, SlotId> slot_of_;  ///< CAM: page>=N -> slot
+  std::unordered_map<PageId, PageId> location_;  ///< placement exceptions
+
+  std::optional<SlotId> empty_cache_;
+  bool fill_active_ = false;
+  SlotId fill_slot_ = 0;
+  PageId fill_page_ = kInvalidPage;
+  MachAddr fill_old_base_ = 0;
+  std::vector<bool> fill_bitmap_;
+};
+
+}  // namespace hmm

@@ -1,0 +1,108 @@
+#include "dram/dram_system.hh"
+
+#include <algorithm>
+
+namespace hmm {
+
+DramSystem DramSystem::make(Region region, SchedulerPolicy policy) {
+  if (region == Region::OnPackage) {
+    return DramSystem(region, DramTiming::on_package_sip(),
+                      params::kOnPackageChannels, policy);
+  }
+  return DramSystem(region, DramTiming::off_package_ddr3_1333(),
+                    params::kOffPackageChannels, policy);
+}
+
+DramSystem::DramSystem(Region region, const DramTiming& timing,
+                       unsigned channels, SchedulerPolicy policy)
+    : region_(region), timing_(timing), mapping_(channels, timing) {
+  channels_.reserve(channels);
+  for (unsigned i = 0; i < channels; ++i)
+    channels_.emplace_back(timing, mapping_, policy);
+}
+
+unsigned DramSystem::channel_of(MachAddr addr) const noexcept {
+  return mapping_.decode(addr).channel;
+}
+
+RequestId DramSystem::submit(MachAddr addr, std::uint32_t bytes,
+                             AccessType type, Priority priority,
+                             Cycle arrival, int channel_hint) {
+  DramRequest req;
+  req.addr = addr;
+  req.bytes = bytes;
+  req.type = type;
+  req.priority = priority;
+  req.arrival = arrival;
+  req.id = next_id_++;  // system-wide unique id
+  const unsigned ch = channel_hint >= 0
+                          ? static_cast<unsigned>(channel_hint) %
+                                num_channels()
+                          : channel_of(addr);
+  return channels_[ch].submit(req);
+}
+
+void DramSystem::drain_until(Cycle now) {
+  for (auto& c : channels_) c.drain_until(now);
+}
+
+Cycle DramSystem::drain_all(Cycle upto) {
+  Cycle last = upto;
+  for (auto& c : channels_) last = std::max(last, c.drain_all(upto));
+  return last;
+}
+
+std::vector<DramCompletion> DramSystem::take_completions() {
+  std::vector<DramCompletion> out;
+  for (auto& c : channels_) {
+    auto v = c.take_completions();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::size_t DramSystem::backlog() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : channels_) n += c.backlog();
+  return n;
+}
+
+std::size_t DramSystem::demand_backlog() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : channels_) n += c.demand_backlog();
+  return n;
+}
+
+double DramSystem::mean_queue_delay() const {
+  RunningStat s;
+  for (const auto& c : channels_) s.merge(c.queue_delay());
+  return s.mean();
+}
+
+double DramSystem::row_hit_rate() const {
+  std::uint64_t hits = 0, total = 0;
+  for (const auto& c : channels_) {
+    hits += c.row_hits();
+    total += c.row_hits() + c.row_misses();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+std::uint64_t DramSystem::demand_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& c : channels_) n += c.demand_bytes();
+  return n;
+}
+
+std::uint64_t DramSystem::background_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& c : channels_) n += c.background_bytes();
+  return n;
+}
+
+void DramSystem::reset_stats() {
+  for (auto& c : channels_) c.reset_stats();
+}
+
+}  // namespace hmm

@@ -1,0 +1,78 @@
+// A memory region (on-package SiP DRAM or off-package DIMMs): a set of
+// channels behind one scheduler clock, plus the region's fixed wire/pin
+// latency ledger from Table II.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/params.hh"
+#include "common/types.hh"
+#include "dram/channel.hh"
+
+namespace hmm {
+
+class DramSystem {
+ public:
+  /// Builds the paper's configuration for the given region:
+  /// off-package = 4 channels x 8 banks of DDR3-1333;
+  /// on-package  = 1 wide channel x 128 banks behind the interposer.
+  static DramSystem make(Region region,
+                         SchedulerPolicy policy = SchedulerPolicy::FrFcfs);
+
+  DramSystem(Region region, const DramTiming& timing, unsigned channels,
+             SchedulerPolicy policy);
+
+  /// `channel_hint` >= 0 overrides address-based channel routing — used by
+  /// the migration engine, whose streaming chunks physically stripe across
+  /// all channels (line interleaving) and are modelled as rotating whole
+  /// chunks channel by channel.
+  RequestId submit(MachAddr addr, std::uint32_t bytes, AccessType type,
+                   Priority priority, Cycle arrival, int channel_hint = -1);
+
+  void drain_until(Cycle now);
+  Cycle drain_all(Cycle upto);
+
+  /// Completions from all channels since the last call (unordered across
+  /// channels; ordered per channel).
+  [[nodiscard]] std::vector<DramCompletion> take_completions();
+
+  [[nodiscard]] Region region() const noexcept { return region_; }
+  [[nodiscard]] unsigned channel_of(MachAddr addr) const noexcept;
+  [[nodiscard]] std::size_t backlog() const noexcept;
+  [[nodiscard]] std::size_t demand_backlog() const noexcept;
+
+  /// Fixed per-access latency outside the DRAM device (controller pipeline,
+  /// pins, board/interposer wires) — Table II ledger.
+  [[nodiscard]] Cycle wire_overhead() const noexcept {
+    return region_ == Region::OnPackage ? params::kOnPackageWireOverhead
+                                        : params::kOffPackageWireOverhead;
+  }
+
+  [[nodiscard]] const DramTiming& timing() const noexcept { return timing_; }
+  [[nodiscard]] unsigned num_channels() const noexcept {
+    return static_cast<unsigned>(channels_.size());
+  }
+  [[nodiscard]] DramChannel& channel(unsigned i) noexcept {
+    return channels_[i];
+  }
+  [[nodiscard]] const DramChannel& channel(unsigned i) const noexcept {
+    return channels_[i];
+  }
+
+  // Aggregated demand statistics across channels.
+  [[nodiscard]] double mean_queue_delay() const;
+  [[nodiscard]] double row_hit_rate() const;
+  [[nodiscard]] std::uint64_t demand_bytes() const;
+  [[nodiscard]] std::uint64_t background_bytes() const;
+  void reset_stats();
+
+ private:
+  Region region_;
+  DramTiming timing_;
+  AddressMapping mapping_;
+  std::vector<DramChannel> channels_;
+  RequestId next_id_ = 0;
+};
+
+}  // namespace hmm

@@ -1,0 +1,40 @@
+// Memory-request plumbing shared by the channel model and its clients.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hmm {
+
+using RequestId = std::uint64_t;
+inline constexpr RequestId kInvalidRequest = ~0ull;
+
+/// Scheduling class: demand traffic always beats background migration copies
+/// (the migration engine works in the gaps, as Section III's overlap of
+/// "data migration with computation" requires).
+enum class Priority : std::uint8_t { Demand, Background };
+
+/// One transfer submitted to a DRAM channel. `bytes` is usually one cache
+/// line for demand traffic; migration copies submit larger streaming chunks
+/// that occupy the data bus for bytes/64 consecutive bursts.
+struct DramRequest {
+  MachAddr addr = 0;
+  std::uint32_t bytes = 64;
+  AccessType type = AccessType::Read;
+  Priority priority = Priority::Demand;
+  Cycle arrival = 0;
+  RequestId id = kInvalidRequest;
+};
+
+/// Completion record handed back to the submitter.
+struct DramCompletion {
+  RequestId id = kInvalidRequest;
+  Cycle arrival = 0;
+  Cycle start = 0;    ///< first command issue (end of queueing)
+  Cycle finish = 0;   ///< last data beat on the bus
+  bool row_hit = false;
+  Priority priority = Priority::Demand;
+};
+
+}  // namespace hmm

@@ -1,0 +1,69 @@
+// DRAM device timing parameters, expressed in CPU clock cycles (3.2 GHz).
+//
+// Off-package: Micron DDR3-1333 (CL9-9-9), 64-bit channel, BL8 => 64B/burst.
+// On-package:  same DRAM core (the paper deliberately reuses a commodity
+// array design), but a many-bank structure (128 banks) and a much faster
+// in-package I/O interface (>= 2 Tbps die-to-die per ITRS [3]), so a 64B
+// burst occupies the data bus for only a few CPU cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace hmm {
+
+struct DramTiming {
+  // Bank-core timings (CPU cycles).
+  Cycle tRCD;  ///< ACT -> CAS
+  Cycle tRP;   ///< PRE -> ACT
+  Cycle tCAS;  ///< CAS -> first data (CL)
+  Cycle tRAS;  ///< ACT -> PRE (minimum row open time)
+  Cycle tWR;   ///< end of write burst -> PRE
+  Cycle tRTP;  ///< read CAS -> PRE
+  Cycle tCCD;  ///< CAS -> CAS, same bank group
+  Cycle tBurst;  ///< data-bus occupancy of one 64B cache-line burst
+  Cycle tCmd;    ///< command-bus slot per transaction (scheduler decision)
+
+  // Geometry.
+  unsigned banks;          ///< banks per channel
+  std::uint64_t rowBytes;  ///< DRAM row (page) size per bank
+
+  /// DDR3-1333 @ 666.7MHz bus; 1 DRAM cycle = 4.8 CPU cycles (rounded).
+  [[nodiscard]] static constexpr DramTiming off_package_ddr3_1333() noexcept {
+    return DramTiming{
+        .tRCD = 43,   // 9 * 4.8
+        .tRP = 43,    // 9 * 4.8
+        .tCAS = 43,   // 9 * 4.8
+        .tRAS = 115,  // 24 * 4.8
+        .tWR = 48,    // 15 ns
+        .tRTP = 24,   // 7.5 ns
+        .tCCD = 19,   // 4 * 4.8
+        .tBurst = 19,  // BL8 on a 64-bit bus = 4 DRAM cycles
+        .tCmd = 5,     // one DDR3 command cycle
+        .banks = 8,
+        .rowBytes = 8 * KiB,
+    };
+  }
+
+  /// On-package SiP DRAM: identical array core, 128 banks, ~2Tbps interface
+  /// (64B in < 1 ns, i.e. ~3 CPU cycles of bus occupancy).
+  [[nodiscard]] static constexpr DramTiming on_package_sip() noexcept {
+    return DramTiming{
+        .tRCD = 43,
+        .tRP = 43,
+        .tCAS = 43,
+        .tRAS = 115,
+        .tWR = 48,
+        .tRTP = 24,
+        .tCCD = 5,
+        .tBurst = 3,
+        .tCmd = 1,     // high-speed in-package command signalling
+        .banks = 128,
+        .rowBytes = 8 * KiB,
+    };
+  }
+};
+
+}  // namespace hmm

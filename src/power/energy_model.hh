@@ -1,0 +1,60 @@
+// Memory-system energy model (Section IV-D):
+//   DRAM core access:        5 pJ/bit (both regions)
+//   on-package interconnect: 1.66 pJ/bit (12.5Gb/s transceiver class [21])
+//   off-package interconnect: 13 pJ/bit
+//
+// Migration traffic crosses (at least one) interconnect twice — a read on
+// the source region and a write on the destination — and both directions
+// are already accounted as Background bytes in the channel models.
+#pragma once
+
+#include <cstdint>
+
+#include "common/params.hh"
+#include "common/types.hh"
+
+namespace hmm {
+
+struct EnergyBreakdown {
+  double demand_on_pj = 0;
+  double demand_off_pj = 0;
+  double migration_pj = 0;
+
+  [[nodiscard]] double total_pj() const noexcept {
+    return demand_on_pj + demand_off_pj + migration_pj;
+  }
+};
+
+class EnergyModel {
+ public:
+  /// Energy of moving `bytes` through one region's core + link.
+  [[nodiscard]] static double access_pj(Region r, std::uint64_t bytes) noexcept {
+    const double bits = static_cast<double>(bytes) * 8.0;
+    const double link = r == Region::OnPackage
+                            ? params::kOnPackageLinkPjPerBit
+                            : params::kOffPackageLinkPjPerBit;
+    return bits * (params::kDramCorePjPerBit + link);
+  }
+
+  /// Energy for the hybrid system given per-region traffic counters.
+  [[nodiscard]] static EnergyBreakdown hybrid(
+      std::uint64_t demand_on_bytes, std::uint64_t demand_off_bytes,
+      std::uint64_t migration_on_bytes,
+      std::uint64_t migration_off_bytes) noexcept {
+    EnergyBreakdown e;
+    e.demand_on_pj = access_pj(Region::OnPackage, demand_on_bytes);
+    e.demand_off_pj = access_pj(Region::OffPackage, demand_off_bytes);
+    e.migration_pj = access_pj(Region::OnPackage, migration_on_bytes) +
+                     access_pj(Region::OffPackage, migration_off_bytes);
+    return e;
+  }
+
+  /// Reference system: the same demand traffic served by off-package DRAM
+  /// only (Fig 16's denominator).
+  [[nodiscard]] static double off_only_pj(
+      std::uint64_t total_demand_bytes) noexcept {
+    return access_pj(Region::OffPackage, total_demand_bytes);
+  }
+};
+
+}  // namespace hmm

@@ -1,0 +1,193 @@
+#include "sim/memsim.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hmm {
+
+MemSim::MemSim(const MemSimConfig& cfg)
+    : cfg_(cfg),
+      on_(DramSystem::make(Region::OnPackage, cfg.policy)),
+      off_(DramSystem::make(Region::OffPackage, cfg.policy)),
+      ctl_(cfg.controller, on_, off_) {}
+
+void MemSim::handle_completion(const DramCompletion& c, Region region) {
+  if (c.priority == Priority::Background) {
+    ctl_.on_completion(c, region);
+    return;
+  }
+  auto& map = region == Region::OnPackage ? demand_on_ : demand_off_;
+  const auto it = map.find(c.id);
+  if (it == map.end()) return;  // not a tracked demand access
+  const Outstanding o = it->second;
+  map.erase(it);
+
+  const DramSystem& sys = region == Region::OnPackage ? on_ : off_;
+  // c.finish already includes the extra pre-issue latency (translation,
+  // OS stalls, design-N blocking) because the request's arrival was
+  // shifted by it; only the fixed wire ledger is added here.
+  const double lat =
+      static_cast<double>(c.finish - o.issued + sys.wire_overhead());
+  latency_.add(lat);
+  latency_hist_.add(static_cast<std::uint64_t>(lat));
+  (o.is_read ? read_latency_ : write_latency_).add(lat);
+  (region == Region::OnPackage ? on_latency_ : off_latency_).add(lat);
+}
+
+void MemSim::pump(Cycle now) {
+  // Background completions can trigger further submissions with arrivals
+  // <= now, so iterate to a fixed point.
+  for (int guard = 0; guard < 1000; ++guard) {
+    on_.drain_until(now);
+    off_.drain_until(now);
+    const auto a = on_.take_completions();
+    const auto b = off_.take_completions();
+    if (a.empty() && b.empty()) return;
+    for (const auto& c : a) handle_completion(c, Region::OnPackage);
+    for (const auto& c : b) handle_completion(c, Region::OffPackage);
+  }
+}
+
+Cycle MemSim::force_migration_idle(Cycle now) {
+  int guard = 0;
+  while (!ctl_.migration_idle() && ++guard < 1'000'000) {
+    const Cycle t = std::max(on_.drain_all(now), off_.drain_all(now));
+    const auto a = on_.take_completions();
+    const auto b = off_.take_completions();
+    for (const auto& c : a) handle_completion(c, Region::OnPackage);
+    for (const auto& c : b) handle_completion(c, Region::OffPackage);
+    now = std::max(now, t);
+    if (a.empty() && b.empty()) break;  // engine stuck would spin otherwise
+  }
+  return now;
+}
+
+void MemSim::throttle(DramSystem& sys, Cycle& now) {
+  int guard = 0;
+  while (sys.demand_backlog() >= cfg_.max_demand_backlog &&
+         ++guard < 1'000'000) {
+    // Finite request queues: slip time forward until the region drains.
+    const Cycle step = 200;
+    slip_ += step;
+    now += step;
+    pump(now);
+  }
+}
+
+void MemSim::step(const TraceRecord& r) {
+  Cycle now = std::max(r.timestamp + slip_, last_now_);
+  pump(now);
+
+  // Latency is charged from the moment the access was made, so a design-N
+  // blocking swap shows up in the average memory access time (Fig 11).
+  const Cycle issue_time = now;
+
+  auto d = ctl_.on_access(r.addr, r.type, now);
+
+  if (d.stall_until_idle) {
+    // Design N halts execution for the whole swap: every access arriving
+    // before the swap completes waits until it does.
+    blocked_until_ = std::max(blocked_until_, force_migration_idle(now));
+    // The swap completed while we waited: route with the updated table.
+    d.route = ctl_.table().translate(r.addr);
+  }
+  if (blocked_until_ > now) {
+    d.extra_latency += blocked_until_ - now;
+  }
+
+  // Reference-mode overrides (Fig 11's all-on / all-off guide lines).
+  Region region = d.route.region;
+  MachAddr mach = d.route.mach;
+  if (cfg_.force == MemSimConfig::Force::AllOffPackage) {
+    region = Region::OffPackage;
+    mach = r.addr;
+    d.extra_latency = 0;
+  } else if (cfg_.force == MemSimConfig::Force::AllOnPackage) {
+    region = Region::OnPackage;
+    mach = r.addr;
+    d.extra_latency = 0;
+  }
+
+  DramSystem& sys = region == Region::OnPackage ? on_ : off_;
+  throttle(sys, now);
+
+  const RequestId id = sys.submit(mach, 64, r.type, Priority::Demand,
+                                  now + d.extra_latency);
+  auto& map = region == Region::OnPackage ? demand_on_ : demand_off_;
+  map.emplace(id, Outstanding{issue_time, d.extra_latency,
+                              r.type == AccessType::Read});
+  last_now_ = now;
+}
+
+void MemSim::run(SyntheticWorkload& workload, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step(workload.next());
+  finish();
+}
+
+void MemSim::finish() {
+  // Drain demand, then let any in-flight migration complete. Note: this
+  // advances only end_time_, never last_now_ — arrival pacing must keep
+  // following trace timestamps, or everything after a mid-trace drain
+  // would arrive in one burst and saturate the queues artificially.
+  int guard = 0;
+  Cycle end = std::max(last_now_, end_time_);
+  for (;;) {
+    const Cycle t = std::max(on_.drain_all(end), off_.drain_all(end));
+    end = std::max(end, t);
+    const auto a = on_.take_completions();
+    const auto b = off_.take_completions();
+    for (const auto& c : a) handle_completion(c, Region::OnPackage);
+    for (const auto& c : b) handle_completion(c, Region::OffPackage);
+    if ((a.empty() && b.empty()) || ++guard > 1'000'000) break;
+  }
+  end_time_ = end;
+}
+
+void MemSim::reset_stats() {
+  // In-flight requests stay in flight; their completions land in the new
+  // measurement window with correct latencies.
+  on_.reset_stats();
+  off_.reset_stats();
+  latency_.reset();
+  read_latency_.reset();
+  write_latency_.reset();
+  on_latency_.reset();
+  off_latency_.reset();
+  latency_hist_.reset();
+}
+
+RunResult MemSim::result() const {
+  RunResult r;
+  const auto& cs = ctl_.stats();
+  r.accesses = latency_.count();
+  r.avg_latency = latency_.mean();
+  r.avg_read_latency = read_latency_.mean();
+  r.avg_write_latency = write_latency_.mean();
+  r.avg_on_latency = on_latency_.mean();
+  r.avg_off_latency = off_latency_.mean();
+  r.p99_latency = static_cast<double>(latency_hist_.quantile(0.99));
+  r.on_package_fraction =
+      cs.accesses == 0
+          ? 0.0
+          : static_cast<double>(cs.on_package_hits) /
+                static_cast<double>(cs.accesses);
+  r.off_row_hit_rate = off_.row_hit_rate();
+  r.on_queue_delay = on_.mean_queue_delay();
+  r.off_queue_delay = off_.mean_queue_delay();
+  r.swaps = ctl_.engine().stats().swaps_completed;
+  r.migrated_bytes = ctl_.engine().stats().bytes_copied;
+  r.demand_bytes_on = on_.demand_bytes();
+  r.demand_bytes_off = off_.demand_bytes();
+  r.os_stall_cycles = cs.os_stall_cycles;
+  r.end_time = std::max(end_time_, last_now_);
+
+  const EnergyBreakdown e = EnergyModel::hybrid(
+      on_.demand_bytes(), off_.demand_bytes(), on_.background_bytes(),
+      off_.background_bytes());
+  r.energy_pj = e.total_pj();
+  r.energy_off_only_pj =
+      EnergyModel::off_only_pj(on_.demand_bytes() + off_.demand_bytes());
+  return r;
+}
+
+}  // namespace hmm

@@ -1,0 +1,87 @@
+// Trace-driven main-memory simulator (Section IV).
+//
+// Replays a reference stream through the heterogeneity-aware controller:
+// translation + hotness monitoring + swap triggering, demand requests into
+// the per-region cycle-level DRAM models, background migration traffic
+// interleaved by the engine, and (design N) full stalls during swaps.
+//
+// The replay is open-loop on trace timestamps with a bounded-outstanding
+// throttle: when a region's demand backlog exceeds the limit (finite MSHRs
+// / request queue), time slips forward until the queue drains — the same
+// back-pressure a real CPU would see.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "core/controller.hh"
+#include "power/energy_model.hh"
+#include "sim/run_result.hh"
+#include "trace/generator.hh"
+
+namespace hmm {
+
+struct MemSimConfig {
+  ControllerConfig controller;
+  SchedulerPolicy policy = SchedulerPolicy::FrFcfs;
+  std::size_t max_demand_backlog = 48;
+  /// Reference modes for the Fig 11 guide lines.
+  enum class Force : std::uint8_t { None, AllOffPackage, AllOnPackage };
+  Force force = Force::None;
+};
+
+class MemSim {
+ public:
+  explicit MemSim(const MemSimConfig& cfg);
+
+  /// Replays `n` references from the generator; callable repeatedly.
+  void run(SyntheticWorkload& workload, std::uint64_t n);
+  /// Single-record entry point (tests / custom drivers).
+  void step(const TraceRecord& r);
+  /// Completes all in-flight work; call before reading results.
+  void finish();
+
+  /// Clears measurement state (latency stats, traffic counters) while
+  /// keeping all architectural state — call after a warm-up run.
+  void reset_stats();
+
+  [[nodiscard]] RunResult result() const;
+
+  [[nodiscard]] HeteroMemoryController& controller() noexcept { return ctl_; }
+  [[nodiscard]] DramSystem& on_package() noexcept { return on_; }
+  [[nodiscard]] DramSystem& off_package() noexcept { return off_; }
+
+ private:
+  void pump(Cycle now);
+  Cycle force_migration_idle(Cycle now);
+  void handle_completion(const DramCompletion& c, Region region);
+  void throttle(DramSystem& sys, Cycle& now);
+
+  MemSimConfig cfg_;
+  DramSystem on_;
+  DramSystem off_;
+  HeteroMemoryController ctl_;
+
+  /// Demand bookkeeping: system-unique request id -> issue context.
+  struct Outstanding {
+    Cycle issued = 0;
+    Cycle extra = 0;
+    bool is_read = true;
+  };
+  std::unordered_map<RequestId, Outstanding> demand_on_;
+  std::unordered_map<RequestId, Outstanding> demand_off_;
+
+  Cycle slip_ = 0;       ///< accumulated back-pressure shift
+  Cycle last_now_ = 0;   ///< arrival pacing (trace-time, monotone)
+  Cycle end_time_ = 0;   ///< includes post-trace drain
+  Cycle blocked_until_ = 0;  ///< design N: end of the current halting swap
+  RunningStat latency_;
+  RunningStat read_latency_;
+  RunningStat write_latency_;
+  RunningStat on_latency_;
+  RunningStat off_latency_;
+  Log2Histogram latency_hist_;
+};
+
+}  // namespace hmm

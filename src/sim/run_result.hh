@@ -1,0 +1,51 @@
+// Aggregated results of one trace replay, with the paper's derived metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "common/params.hh"
+#include "common/types.hh"
+
+namespace hmm {
+
+struct RunResult {
+  std::uint64_t accesses = 0;
+  double avg_latency = 0;        ///< demand cycles, request to last beat
+  double avg_read_latency = 0;
+  double avg_write_latency = 0;
+  double avg_on_latency = 0;     ///< accesses served on-package
+  double avg_off_latency = 0;
+  double p99_latency = 0;
+
+  double on_package_fraction = 0;  ///< share of accesses routed on-package
+  double off_row_hit_rate = 0;
+  double on_queue_delay = 0;
+  double off_queue_delay = 0;
+
+  std::uint64_t swaps = 0;
+  std::uint64_t migrated_bytes = 0;
+  std::uint64_t demand_bytes_on = 0;
+  std::uint64_t demand_bytes_off = 0;
+  std::uint64_t os_stall_cycles = 0;
+  Cycle end_time = 0;
+
+  double energy_pj = 0;
+  double energy_off_only_pj = 0;
+
+  /// Fig 16: hybrid power normalized to the off-package-only system.
+  [[nodiscard]] double normalized_power() const noexcept {
+    return energy_off_only_pj > 0 ? energy_pj / energy_off_only_pj : 0.0;
+  }
+
+  /// The paper's effectiveness metric (Section IV-B):
+  ///   η = (Lat_nomig − Lat_mig) / (Lat_nomig − DRAM core latency).
+  [[nodiscard]] static double effectiveness(double lat_no_migration,
+                                            double lat_with_migration) noexcept {
+    const double denom =
+        lat_no_migration - static_cast<double>(params::kDramCoreLatency);
+    if (denom <= 0) return 0.0;
+    return (lat_no_migration - lat_with_migration) / denom;
+  }
+};
+
+}  // namespace hmm

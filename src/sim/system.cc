@@ -1,0 +1,126 @@
+#include "sim/system.hh"
+
+#include "cache/stack_distance.hh"
+#include "common/stats.hh"
+
+namespace hmm {
+
+SystemSim::SystemSim(const Config& cfg)
+    : cfg_(cfg),
+      hierarchy_(params::kNumCores),
+      l4_(cfg.on_package_bytes, params::kOnPackageFixedLatency) {}
+
+Cycle SystemSim::memory_latency(PhysAddr addr, AccessType type) {
+  switch (cfg_.option) {
+    case MemOption::Baseline:
+      return params::kOffPackageFixedLatency;
+    case MemOption::AllOnPackage:
+      return params::kOnPackageFixedLatency;
+    case MemOption::StaticHetero:
+      return addr < cfg_.on_package_bytes ? params::kOnPackageFixedLatency
+                                          : params::kOffPackageFixedLatency;
+    case MemOption::L4Cache: {
+      const DramCache::Result r = l4_.access(addr, type);
+      return r.hit ? r.latency
+                   : r.latency + params::kOffPackageFixedLatency;
+    }
+  }
+  return params::kOffPackageFixedLatency;
+}
+
+Sec2Result SystemSim::run(SyntheticWorkload& w, std::uint64_t n,
+                          std::uint64_t warmup) {
+  RunningStat mem_latency;
+  double stall_cycles = 0;
+  std::uint64_t l3_accesses = 0;
+  std::uint64_t l3_misses = 0;
+
+  for (std::uint64_t i = 0; i < warmup; ++i) {
+    const TraceRecord r = w.next();
+    const HierarchyResult h = hierarchy_.access(r.cpu, r.addr, r.type);
+    if (h.memory_access) (void)memory_latency(r.addr, r.type);
+  }
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const TraceRecord r = w.next();
+    const HierarchyResult h = hierarchy_.access(r.cpu, r.addr, r.type);
+    if (h.hit_level >= 3) ++l3_accesses;
+    double stall =
+        static_cast<double>(h.lookup_latency) - params::kL1Latency;
+    if (h.memory_access) {
+      ++l3_misses;
+      const Cycle m = memory_latency(r.addr, r.type);
+      mem_latency.add(static_cast<double>(m));
+      // Stores retire through the store buffer; loads stall the core.
+      if (r.type == AccessType::Read) stall += static_cast<double>(m);
+    }
+    if (r.type == AccessType::Read) stall_cycles += stall;
+  }
+
+  Sec2Result out;
+  out.instructions =
+      static_cast<std::uint64_t>(static_cast<double>(n) /
+                                 cfg_.core.mem_ref_fraction);
+  const double cycles =
+      static_cast<double>(out.instructions) * cfg_.core.base_cpi +
+      stall_cycles / cfg_.core.mlp;
+  // Aggregate IPC over the whole chip (4 cores run in parallel).
+  out.ipc = static_cast<double>(out.instructions) / cycles *
+            static_cast<double>(params::kNumCores);
+  out.l3_misses = l3_misses;
+  out.l3_miss_rate = l3_accesses == 0
+                         ? 0.0
+                         : static_cast<double>(l3_misses) /
+                               static_cast<double>(l3_accesses);
+  out.l4_miss_rate = l4_.misses() + l4_.hits() == 0 ? 0.0 : l4_.miss_rate();
+  out.avg_memory_latency = mem_latency.mean();
+  return out;
+}
+
+std::vector<double> llc_miss_rate_curve(
+    SyntheticWorkload& w, std::uint64_t n,
+    const std::vector<std::uint64_t>& capacities_bytes,
+    std::uint64_t footprint_bytes) {
+  std::vector<std::uint64_t> lines;
+  lines.reserve(capacities_bytes.size());
+  for (const std::uint64_t c : capacities_bytes)
+    lines.push_back(c / params::kCacheLine);
+
+  // Private L1/L2s filter the stream down to what the shared LLC would
+  // actually see; the profiler then yields every capacity in one pass.
+  StackDistanceProfiler profiler(lines, params::kCacheLine);
+  std::vector<Cache> l1s;
+  std::vector<Cache> l2s;
+  for (unsigned c = 0; c < params::kNumCores; ++c) {
+    l1s.emplace_back(CacheConfig{"L1", params::kL1Size, params::kL1Ways,
+                                 params::kCacheLine, params::kL1Latency,
+                                 ReplacementPolicy::Lru});
+    l2s.emplace_back(CacheConfig{"L2", params::kL2Size, params::kL2Ways,
+                                 params::kCacheLine, params::kL2Latency,
+                                 ReplacementPolicy::Lru});
+  }
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const TraceRecord r = w.next();
+    if (l1s[r.cpu].access(r.addr, r.type).hit) continue;
+    if (l2s[r.cpu].access(r.addr, r.type).hit) continue;
+    profiler.access(r.addr & ~(params::kCacheLine - 1));
+  }
+
+  // Compulsory misses: in steady state a first-touch line is a capacity
+  // miss iff the cache cannot hold the workload's whole footprint, so
+  // count cold misses as misses only below that capacity (scaled traces
+  // otherwise over- or under-state the plateau; see EXPERIMENTS.md).
+  std::vector<double> rates;
+  rates.reserve(lines.size());
+  const double accesses = static_cast<double>(profiler.accesses());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    double misses = profiler.miss_ratio(i) * accesses;
+    if (footprint_bytes != 0 && capacities_bytes[i] >= footprint_bytes)
+      misses -= static_cast<double>(profiler.cold_misses());
+    rates.push_back(accesses == 0 ? 0.0 : std::max(0.0, misses) / accesses);
+  }
+  return rates;
+}
+
+}  // namespace hmm

@@ -1,0 +1,83 @@
+// Section II full-system path: CPU reference stream -> private L1/L2 +
+// shared L3 -> one of four main-memory options, with a simple in-order
+// core model for IPC (the paper's Simics substitute; see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/dram_cache.hh"
+#include "cache/hierarchy.hh"
+#include "common/params.hh"
+#include "trace/generator.hh"
+
+namespace hmm {
+
+/// The four Fig 5 configurations.
+enum class MemOption : std::uint8_t {
+  Baseline,      ///< all memory off-package (200-cycle)
+  L4Cache,       ///< + 1GB on-package DRAM L4 (hit 140 / miss 70 + 200)
+  StaticHetero,  ///< first 1GB of physical memory mapped on-package
+  AllOnPackage,  ///< ideal: every access 70-cycle
+};
+
+[[nodiscard]] constexpr const char* to_string(MemOption o) noexcept {
+  switch (o) {
+    case MemOption::Baseline: return "Baseline";
+    case MemOption::L4Cache: return "L4 Cache 1GB";
+    case MemOption::StaticHetero: return "On-Chip Memory 1GB";
+    case MemOption::AllOnPackage: return "All Memory On-Chip";
+  }
+  return "?";
+}
+
+struct CoreModelParams {
+  double base_cpi = 0.7;          ///< i7-class core, no memory stalls
+  double mem_ref_fraction = 0.25; ///< memory references per instruction
+  double mlp = 1.5;               ///< overlap factor on memory stalls
+};
+
+struct Sec2Result {
+  double ipc = 0;                 ///< aggregate IPC over all cores
+  double l3_miss_rate = 0;
+  double l4_miss_rate = 0;        ///< L4Cache option only
+  double avg_memory_latency = 0;  ///< per L3 miss
+  std::uint64_t instructions = 0;
+  std::uint64_t l3_misses = 0;
+};
+
+class SystemSim {
+ public:
+  struct Config {
+    MemOption option = MemOption::Baseline;
+    std::uint64_t on_package_bytes = params::kSec2OnPackageCapacity;
+    CoreModelParams core;
+  };
+
+  explicit SystemSim(const Config& cfg);
+
+  /// Replays `n` CPU references, returns IPC and memory statistics.
+  /// `warmup` references are executed first without being accounted
+  /// (fills the caches; essential for the L4, whose multi-GB capacity
+  /// otherwise only sees compulsory misses at scaled trace lengths).
+  Sec2Result run(SyntheticWorkload& w, std::uint64_t n,
+                 std::uint64_t warmup = 0);
+
+ private:
+  [[nodiscard]] Cycle memory_latency(PhysAddr addr, AccessType type);
+
+  Config cfg_;
+  CacheHierarchy hierarchy_;
+  DramCache l4_;
+};
+
+/// Fig 4: LLC miss rate for each capacity in `capacities_bytes` (one
+/// stack-distance pass over the L2-miss stream of `n` CPU references).
+/// Compulsory misses count as misses only for capacities below
+/// `footprint_bytes` (0 = always count them).
+[[nodiscard]] std::vector<double> llc_miss_rate_curve(
+    SyntheticWorkload& w, std::uint64_t n,
+    const std::vector<std::uint64_t>& capacities_bytes,
+    std::uint64_t footprint_bytes = 0);
+
+}  // namespace hmm

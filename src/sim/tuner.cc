@@ -1,0 +1,73 @@
+#include "sim/tuner.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hmm {
+
+ProbeResult GranularityTuner::probe(const WorkloadFactory& make,
+                                    std::uint64_t page, std::uint64_t window,
+                                    std::uint64_t seed) const {
+  MemSimConfig cfg;
+  cfg.controller.geom = cfg_.base_geometry;
+  cfg.controller.geom.page_bytes = page;
+  cfg.controller.geom.sub_block_bytes =
+      std::min<std::uint64_t>(cfg_.base_geometry.sub_block_bytes, page);
+  cfg.controller.design = cfg_.design;
+  cfg.controller.swap_interval = cfg_.swap_interval;
+
+  MemSim sim(cfg);
+  auto w = make(seed);
+  const auto warm = static_cast<std::uint64_t>(
+      static_cast<double>(window) * cfg_.warmup_fraction);
+  if (warm > 0) {
+    sim.controller().set_instant_migration(true);
+    sim.run(*w, warm);
+    sim.controller().set_instant_migration(false);
+    sim.reset_stats();
+  }
+  sim.run(*w, window - warm);
+  sim.finish();
+
+  const RunResult r = sim.result();
+  return ProbeResult{page, r.avg_latency, r.on_package_fraction};
+}
+
+TunerOutcome GranularityTuner::tune(const WorkloadFactory& make,
+                                    std::uint64_t seed) const {
+  assert(!cfg_.candidate_pages.empty());
+  TunerOutcome out;
+  std::vector<std::uint64_t> survivors = cfg_.candidate_pages;
+  std::uint64_t window = cfg_.probe_accesses;
+
+  for (unsigned round = 0; round <= cfg_.rounds && survivors.size() > 1;
+       ++round) {
+    std::vector<ProbeResult> results;
+    results.reserve(survivors.size());
+    for (const std::uint64_t page : survivors) {
+      const ProbeResult r = probe(make, page, window, seed + round);
+      results.push_back(r);
+      out.probes.push_back(r);
+    }
+    std::sort(results.begin(), results.end(),
+              [](const ProbeResult& a, const ProbeResult& b) {
+                return a.avg_latency < b.avg_latency;
+              });
+    // Keep the better half (at least one).
+    const std::size_t keep = std::max<std::size_t>(1, results.size() / 2);
+    survivors.clear();
+    for (std::size_t i = 0; i < keep; ++i)
+      survivors.push_back(results[i].page_bytes);
+    window *= 2;
+  }
+
+  // Final confirmation run on the last survivor.
+  const ProbeResult final =
+      probe(make, survivors.front(), window, seed + 100);
+  out.probes.push_back(final);
+  out.best_page_bytes = final.page_bytes;
+  out.best_latency = final.avg_latency;
+  return out;
+}
+
+}  // namespace hmm

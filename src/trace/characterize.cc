@@ -1,0 +1,69 @@
+#include "trace/characterize.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/units.hh"
+
+namespace hmm {
+
+TraceCharacterizer::TraceCharacterizer(
+    std::uint64_t page_bytes, std::vector<std::uint64_t> coverage_points)
+    : page_bytes_(page_bytes), coverage_points_(std::move(coverage_points)) {
+  assert(is_pow2(page_bytes_));
+  std::sort(coverage_points_.begin(), coverage_points_.end());
+}
+
+void TraceCharacterizer::add(const TraceRecord& r) {
+  ++accesses_;
+  reads_ += r.type == AccessType::Read;
+  ++page_counts_[r.addr / page_bytes_];
+  if (r.cpu >= per_cpu_.size()) per_cpu_.resize(r.cpu + 1, 0);
+  ++per_cpu_[r.cpu];
+  if (!any_) {
+    first_ts_ = r.timestamp;
+    any_ = true;
+  }
+  last_ts_ = std::max(last_ts_, r.timestamp);
+}
+
+TraceProfile TraceCharacterizer::profile() const {
+  TraceProfile p;
+  p.accesses = accesses_;
+  p.distinct_pages = page_counts_.size();
+  p.footprint_bytes = p.distinct_pages * page_bytes_;
+  p.read_fraction = accesses_ == 0
+                        ? 0.0
+                        : static_cast<double>(reads_) /
+                              static_cast<double>(accesses_);
+  p.mean_gap_cycles =
+      accesses_ < 2 ? 0.0
+                    : static_cast<double>(last_ts_ - first_ts_) /
+                          static_cast<double>(accesses_ - 1);
+  p.per_cpu = per_cpu_;
+  p.coverage_points = coverage_points_;
+
+  // Concentration curve: sort page counts descending, accumulate traffic
+  // until each byte budget is spent.
+  std::vector<std::uint64_t> counts;
+  counts.reserve(page_counts_.size());
+  for (const auto& [page, c] : page_counts_) counts.push_back(c);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+
+  p.traffic_share.reserve(coverage_points_.size());
+  for (const std::uint64_t budget : coverage_points_) {
+    const std::uint64_t pages = budget / page_bytes_;
+    std::uint64_t covered = 0;
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(pages,
+                                                          counts.size());
+         ++i)
+      covered += counts[i];
+    p.traffic_share.push_back(
+        accesses_ == 0 ? 0.0
+                       : static_cast<double>(covered) /
+                             static_cast<double>(accesses_));
+  }
+  return p;
+}
+
+}  // namespace hmm

@@ -1,0 +1,58 @@
+// Streaming trace characterization: footprint, hot-set concentration at a
+// chosen page granularity, read/CPU mix, and arrival pacing.
+//
+// This is the measurement tool behind the workload models in
+// workloads.cc: the paper's effectiveness results are determined by how
+// much of a workload's traffic concentrates into how few macro pages, and
+// this class computes exactly that curve for any reference stream.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "trace/record.hh"
+
+namespace hmm {
+
+struct TraceProfile {
+  std::uint64_t accesses = 0;
+  std::uint64_t footprint_bytes = 0;   ///< distinct pages x page size
+  std::uint64_t distinct_pages = 0;
+  double read_fraction = 0;
+  double mean_gap_cycles = 0;
+  std::vector<std::uint64_t> per_cpu;  ///< accesses by CPU id
+
+  /// traffic_share[i]: fraction of accesses covered by the hottest
+  /// `coverage_points[i]` bytes worth of pages.
+  std::vector<std::uint64_t> coverage_points;
+  std::vector<double> traffic_share;
+};
+
+class TraceCharacterizer {
+ public:
+  /// `page_bytes`: granularity of the hot-set analysis;
+  /// `coverage_points`: byte budgets for the concentration curve (e.g.
+  /// {128MB, 256MB, 512MB} to ask "how much traffic fits on-package?").
+  TraceCharacterizer(std::uint64_t page_bytes,
+                     std::vector<std::uint64_t> coverage_points);
+
+  void add(const TraceRecord& r);
+
+  /// Finalizes the concentration curve and returns the profile.
+  [[nodiscard]] TraceProfile profile() const;
+
+ private:
+  std::uint64_t page_bytes_;
+  std::vector<std::uint64_t> coverage_points_;
+  std::unordered_map<std::uint64_t, std::uint64_t> page_counts_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t reads_ = 0;
+  std::vector<std::uint64_t> per_cpu_;
+  Cycle first_ts_ = 0;
+  Cycle last_ts_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace hmm

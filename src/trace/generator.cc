@@ -1,0 +1,48 @@
+#include "trace/generator.hh"
+
+#include <cassert>
+
+namespace hmm {
+
+SyntheticWorkload::SyntheticWorkload(Params p,
+                                     std::vector<MixtureComponent> components)
+    : p_(std::move(p)), comps_(std::move(components)), rng_(p_.seed) {
+  assert(!comps_.empty());
+  double total = 0.0;
+  for (const auto& c : comps_) {
+    total += c.weight;
+    cum_weight_.push_back(total);
+  }
+  for (auto& w : cum_weight_) w /= total;
+}
+
+TraceRecord SyntheticWorkload::next() {
+  // Phase boundaries drive hot-set drift / stride changes.
+  if (p_.phase_length != 0 && emitted_ != 0 &&
+      emitted_ % p_.phase_length == 0) {
+    for (auto& c : comps_) c.pattern->on_phase(rng_);
+  }
+
+  const double u = rng_.uniform();
+  std::size_t i = 0;
+  while (i + 1 < cum_weight_.size() && u > cum_weight_[i]) ++i;
+  MixtureComponent& c = comps_[i];
+
+  TraceRecord r;
+  r.addr = c.pattern->next(rng_);
+  r.timestamp = now_;
+  r.type = rng_.chance(p_.read_fraction) ? AccessType::Read
+                                         : AccessType::Write;
+  if (c.cpu >= 0) {
+    r.cpu = static_cast<CpuId>(c.cpu);
+  } else {
+    r.cpu = static_cast<CpuId>(rr_cpu_);
+    rr_cpu_ = (rr_cpu_ + 1) % p_.cpus;
+  }
+
+  now_ += rng_.geometric(p_.mean_gap_cycles);
+  ++emitted_;
+  return r;
+}
+
+}  // namespace hmm

@@ -1,0 +1,94 @@
+#include "trace/io.hh"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace hmm {
+
+namespace {
+constexpr char kMagic[8] = {'H', 'M', 'M', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kNameBytes = 64;
+constexpr std::size_t kRecordBytes = 20;
+
+void pack(const TraceRecord& r, char* buf) {
+  std::memcpy(buf, &r.addr, 8);
+  std::memcpy(buf + 8, &r.timestamp, 8);
+  std::memcpy(buf + 16, &r.cpu, 2);
+  buf[18] = r.type == AccessType::Write ? 1 : 0;
+  buf[19] = 0;
+}
+
+TraceRecord unpack(const char* buf) {
+  TraceRecord r;
+  std::memcpy(&r.addr, buf, 8);
+  std::memcpy(&r.timestamp, buf + 8, 8);
+  std::memcpy(&r.cpu, buf + 16, 2);
+  r.type = buf[18] != 0 ? AccessType::Write : AccessType::Read;
+  return r;
+}
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path,
+                         const std::string& workload_name)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("TraceWriter: cannot create " + path);
+  out_.write(kMagic, sizeof kMagic);
+  out_.write(reinterpret_cast<const char*>(&kVersion), 4);
+  const std::uint64_t zero = 0;  // patched in close()
+  out_.write(reinterpret_cast<const char*>(&zero), 8);
+  std::array<char, kNameBytes> name{};
+  std::strncpy(name.data(), workload_name.c_str(), kNameBytes - 1);
+  out_.write(name.data(), kNameBytes);
+}
+
+void TraceWriter::write(const TraceRecord& r) {
+  char buf[kRecordBytes];
+  pack(r, buf);
+  out_.write(buf, kRecordBytes);
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(12);
+  out_.write(reinterpret_cast<const char*>(&count_), 8);
+  out_.close();
+  if (!out_) throw std::runtime_error("TraceWriter: write failure on close");
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; close() explicitly to observe errors.
+  }
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  char magic[8];
+  std::uint32_t version = 0;
+  in_.read(magic, 8);
+  in_.read(reinterpret_cast<char*>(&version), 4);
+  in_.read(reinterpret_cast<char*>(&count_), 8);
+  std::array<char, kNameBytes> name{};
+  in_.read(name.data(), kNameBytes);
+  if (!in_ || std::memcmp(magic, kMagic, 8) != 0 || version != kVersion)
+    throw std::runtime_error("TraceReader: bad header in " + path);
+  name_.assign(name.data());
+}
+
+std::optional<TraceRecord> TraceReader::next() {
+  if (read_ >= count_) return std::nullopt;
+  char buf[kRecordBytes];
+  in_.read(buf, kRecordBytes);
+  if (!in_) return std::nullopt;
+  ++read_;
+  return unpack(buf);
+}
+
+}  // namespace hmm

@@ -1,0 +1,62 @@
+// Binary trace file format: fixed little-endian header followed by packed
+// 20-byte records. Lets users capture a synthetic (or external) reference
+// stream once and replay it across many simulator configurations.
+//
+// Layout:
+//   [0..8)   magic "HMMTRACE"
+//   [8..12)  version (u32, currently 1)
+//   [12..20) record count (u64)
+//   [20..84) workload name, NUL-padded
+//   then per record: addr u64 | timestamp u64 | cpu u16 | type u8 | pad u8
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace hmm {
+
+class TraceWriter {
+ public:
+  /// Throws std::runtime_error if the file cannot be created.
+  TraceWriter(const std::string& path, const std::string& workload_name);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const TraceRecord& r);
+  /// Finalizes the header (record count); called by the destructor too.
+  void close();
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+class TraceReader {
+ public:
+  /// Throws std::runtime_error on missing file or bad magic/version.
+  explicit TraceReader(const std::string& path);
+
+  /// nullopt at end of stream.
+  [[nodiscard]] std::optional<TraceRecord> next();
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] const std::string& workload_name() const noexcept {
+    return name_;
+  }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+  std::string name_;
+};
+
+}  // namespace hmm

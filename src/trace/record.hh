@@ -1,0 +1,19 @@
+// Memory-trace record format (Section IV: "the trace file records the
+// physical address, CPU ID, time stamp, and read/write status of all main
+// memory accesses").
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace hmm {
+
+struct TraceRecord {
+  PhysAddr addr = 0;
+  Cycle timestamp = 0;
+  CpuId cpu = 0;
+  AccessType type = AccessType::Read;
+};
+
+}  // namespace hmm

@@ -1,0 +1,320 @@
+#include "trace/workloads.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/params.hh"
+#include "common/units.hh"
+
+namespace hmm {
+
+namespace {
+
+// Section IV geometry: 4GB total memory (Table III). Footprints above 4GB
+// in the paper are clipped to the usable space; the top 64MB (including
+// the reserved page Ω) is never touched by a workload.
+constexpr std::uint64_t kUsableTop = 4 * GiB - 64 * MiB;
+
+std::unique_ptr<SyntheticWorkload> build(
+    SyntheticWorkload::Params p, std::vector<MixtureComponent> comps) {
+  return std::make_unique<SyntheticWorkload>(std::move(p), std::move(comps));
+}
+
+MixtureComponent comp(std::unique_ptr<Pattern> pat, double w, int cpu = -1) {
+  MixtureComponent c;
+  c.pattern = std::move(pat);
+  c.weight = w;
+  c.cpu = cpu;
+  return c;
+}
+
+}  // namespace
+
+// FT.C — 3D FFT spectral kernel. The FFT works plane by plane: each phase
+// (one dimension of one array) sweeps a few-hundred-MB slab repeatedly —
+// sequential butterfly passes and strided transposes — then moves to the
+// next slab. Phase-local slab reuse is what migration can capture; the
+// constant slab turnover is why the paper measures its *lowest*
+// effectiveness here (69.1%).
+std::unique_ptr<SyntheticWorkload> make_ft(std::uint64_t seed) {
+  SyntheticWorkload::Params p;
+  p.name = "FT";
+  p.description = "computational kernel of a 3D FFT-based spectral method";
+  p.footprint_bytes = kUsableTop;  // 5147MB clipped into the 4GB space
+  p.read_fraction = 0.65;
+  p.mean_gap_cycles = 11;
+  p.phase_length = 400'000;
+  p.seed = seed;
+  const std::uint64_t region = 3584ull * MiB;  // array space, slab-divisible
+  std::vector<MixtureComponent> c;
+  c.push_back(comp(std::make_unique<StridedPattern>(0, region, 64, 16 * KiB,
+                                                    256 * MiB),
+                   0.18));
+  c.push_back(comp(std::make_unique<SequentialPattern>(0, region, 64,
+                                                       256 * MiB),
+                   0.30));
+  // Stable per-run hot set: twiddle factors, index tables, and the
+  // currently-transformed array's re-read planes.
+  c.push_back(comp(std::make_unique<ZipfPattern>(region, 448 * MiB, 64 * KiB,
+                                                 0.9, true, 0),
+                   0.52));
+  return build(std::move(p), std::move(c));
+}
+
+// MG.C — V-cycle multigrid on a 3D Poisson problem. The grid hierarchy
+// gives nested working sets: each coarser level is 8x smaller but visited
+// every cycle, so a large share of references lands in regions that fit
+// on-package once migrated (paper: 84.3%).
+std::unique_ptr<SyntheticWorkload> make_mg(std::uint64_t seed) {
+  SyntheticWorkload::Params p;
+  p.name = "MG";
+  p.description = "V-cycle MultiGrid solver for a 3D scalar Poisson equation";
+  p.footprint_bytes = 3426 * MiB;
+  p.read_fraction = 0.7;
+  p.mean_gap_cycles = 11;
+  p.phase_length = 120'000;
+  p.seed = seed;
+  const std::uint64_t l0 = p.footprint_bytes;      // finest grid
+  const std::uint64_t l1 = l0 / 8;                 // coarser levels
+  const std::uint64_t l2 = l1 / 8;
+  const std::uint64_t l3 = l2 / 8;
+  std::vector<MixtureComponent> c;
+  // The finest grid is swept in slabs; the coarser levels (which together
+  // fit on-package) take the majority of the references — a V-cycle visits
+  // every coarse level twice per iteration.
+  c.push_back(comp(std::make_unique<SequentialPattern>(0, l0, 64, 256 * MiB),
+                   0.22));
+  c.push_back(comp(std::make_unique<SequentialPattern>(l0 - l1, l1, 64), 0.30));
+  c.push_back(comp(std::make_unique<SequentialPattern>(l0 - l1 - l2, l2, 64),
+                   0.24));
+  c.push_back(comp(std::make_unique<ZipfPattern>(l0 - l1 - l2 - l3, l3,
+                                                 16 * KiB, 0.9, true, 0),
+                   0.24));
+  return build(std::move(p), std::move(c));
+}
+
+// pgbench — TPC-B-like PostgreSQL 8.3, scale factor 100. Transaction
+// processing: strongly zipf-skewed 8KB buffer-pool pages (accounts table),
+// a sequential WAL region, and scattered index walks. The concentrated
+// hot set is ideal for migration (paper: 92.2%).
+std::unique_ptr<SyntheticWorkload> make_pgbench(std::uint64_t seed) {
+  SyntheticWorkload::Params p;
+  p.name = "pgbench";
+  p.description = "TPC-B like benchmark on PostgreSQL 8.3, scale factor 100";
+  p.footprint_bytes = 3 * GiB;
+  p.read_fraction = 0.6;
+  p.mean_gap_cycles = 13;
+  p.phase_length = 400'000;
+  p.seed = seed;
+  std::vector<MixtureComponent> c;
+  c.push_back(comp(std::make_unique<ZipfPattern>(0, p.footprint_bytes - 256 * MiB,
+                                                 8 * KiB, 1.05, true, 16),
+                   0.78));
+  c.push_back(comp(std::make_unique<SequentialPattern>(
+                       p.footprint_bytes - 256 * MiB, 256 * MiB, 64),
+                   0.15));
+  c.push_back(comp(std::make_unique<UniformPattern>(0, p.footprint_bytes -
+                                                           256 * MiB),
+                   0.07));
+  return build(std::move(p), std::move(c));
+}
+
+// indexer — Nutch 0.9.1 + HDFS on one disk: sequential document scans,
+// zipf-skewed posting-list updates, and hash-table chasing (paper: 86.1%).
+std::unique_ptr<SyntheticWorkload> make_indexer(std::uint64_t seed) {
+  SyntheticWorkload::Params p;
+  p.name = "indexer";
+  p.description = "Nutch 0.9.1 indexer, Sun JDK 1.6.0, HDFS on one disk";
+  p.footprint_bytes = 2560 * MiB;
+  p.read_fraction = 0.62;
+  p.mean_gap_cycles = 13;
+  p.phase_length = 250'000;
+  p.seed = seed;
+  std::vector<MixtureComponent> c;
+  c.push_back(comp(
+      std::make_unique<SequentialPattern>(0, p.footprint_bytes, 64), 0.28));
+  c.push_back(comp(std::make_unique<ZipfPattern>(512 * MiB, 1536 * MiB,
+                                                 16 * KiB, 1.0, true, 32),
+                   0.56));
+  c.push_back(comp(std::make_unique<ChasePattern>(2048ull * MiB, 512 * MiB, 3),
+                   0.16));
+  return build(std::move(p), std::move(c));
+}
+
+// SPECjbb 2005 — four JVM copies with 16 warehouses each: one moderately
+// skewed object heap per copy plus periodic GC-like linear sweeps. The
+// four heaps together overwhelm the on-package capacity, which is why the
+// paper's effectiveness is mid-pack (72.2%).
+std::unique_ptr<SyntheticWorkload> make_specjbb(std::uint64_t seed) {
+  SyntheticWorkload::Params p;
+  p.name = "SPECjbb";
+  p.description = "4 copies of SPECjbb2005, 16 warehouses each, JDK 1.6.0";
+  p.footprint_bytes = 3584ull * MiB;
+  p.read_fraction = 0.68;
+  p.mean_gap_cycles = 12;
+  p.phase_length = 300'000;
+  p.seed = seed;
+  std::vector<MixtureComponent> c;
+  const std::uint64_t heap = 896 * MiB;
+  for (int j = 0; j < 4; ++j) {
+    const PhysAddr base = static_cast<PhysAddr>(j) * heap;
+    c.push_back(comp(std::make_unique<ZipfPattern>(base, heap, 4 * KiB, 0.85,
+                                                   true, 48),
+                     0.20, j));
+    c.push_back(comp(std::make_unique<SequentialPattern>(base, heap, 64),
+                     0.05, j));
+  }
+  return build(std::move(p), std::move(c));
+}
+
+// SPEC2006 mixture — gcc + mcf + perl + zeusmp, one per core (the paper
+// combines their traces). perl/gcc have compact hot sets, mcf is a skewed
+// pointer-chaser, zeusmp streams over a bounded grid; the aggregate hot
+// set fits on-package almost entirely, matching the paper's near-ideal
+// 99.1% effectiveness.
+std::unique_ptr<SyntheticWorkload> make_spec2006_mixture(std::uint64_t seed) {
+  SyntheticWorkload::Params p;
+  p.name = "SPEC2006";
+  p.description = "multi-programmed mix: gcc, mcf, perl, zeusmp";
+  p.footprint_bytes = 3840ull * MiB;
+  p.read_fraction = 0.72;
+  p.mean_gap_cycles = 13;
+  p.phase_length = 500'000;
+  p.seed = seed;
+  std::vector<MixtureComponent> c;
+  // gcc: 850MB image, strongly skewed.
+  c.push_back(comp(std::make_unique<ZipfPattern>(0, 850 * MiB, 16 * KiB, 1.3,
+                                                 true, 8),
+                   0.22, 0));
+  // mcf: 1.6GB arcs/nodes, skewed chase.
+  c.push_back(comp(std::make_unique<ZipfPattern>(896 * MiB, 1600 * MiB,
+                                                 4 * KiB, 1.25, true, 8),
+                   0.38, 1));
+  // perl: small hot interpreter state.
+  c.push_back(comp(std::make_unique<ZipfPattern>(2560ull * MiB, 64 * MiB,
+                                                 4 * KiB, 1.1, true, 0),
+                   0.12, 2));
+  // zeusmp: repeated sweeps over a 192MB grid slab.
+  c.push_back(comp(std::make_unique<SequentialPattern>(2688ull * MiB,
+                                                       192 * MiB, 64),
+                   0.28, 3));
+  return build(std::move(p), std::move(c));
+}
+
+const std::vector<WorkloadInfo>& section4_workloads() {
+  static const std::vector<WorkloadInfo> kList = [] {
+    std::vector<WorkloadInfo> v;
+    v.push_back({"FT", "3D FFT spectral kernel (NPB CLASS C)", kUsableTop,
+                 [](std::uint64_t s) { return make_ft(s); }});
+    v.push_back({"MG", "V-cycle MultiGrid (NPB CLASS C)", 3426 * MiB,
+                 [](std::uint64_t s) { return make_mg(s); }});
+    v.push_back({"pgbench", "TPC-B like PostgreSQL 8.3", 3 * GiB,
+                 [](std::uint64_t s) { return make_pgbench(s); }});
+    v.push_back({"indexer", "Nutch 0.9.1 indexer", 2560 * MiB,
+                 [](std::uint64_t s) { return make_indexer(s); }});
+    v.push_back({"SPECjbb", "4x SPECjbb2005", 3584ull * MiB,
+                 [](std::uint64_t s) { return make_specjbb(s); }});
+    v.push_back({"SPEC2006", "gcc+mcf+perl+zeusmp mixture", 3840ull * MiB,
+                 [](std::uint64_t s) { return make_spec2006_mixture(s); }});
+    return v;
+  }();
+  return kList;
+}
+
+// ---------------------------------------------------------------------------
+// Section II: NPB 3.3 CLASS-C models at CPU reference level.
+//
+// Table I footprints. The scraped paper text dropped trailing zeros from
+// some entries; values marked (r) are reconstructed against the published
+// NPB CLASS-C sizes so that exactly seven workloads stay below 1GB, as
+// Section II states.
+namespace {
+
+struct NpbSpec {
+  std::uint64_t footprint;
+  double hot_weight;     // cache-resident zipf share
+  std::uint64_t hot_mb;  // hot region size
+  double mid_weight;     // L3-capacity-scale zipf share
+  std::uint64_t mid_mb;
+  double stream_weight;  // whole-footprint streaming share
+  double chase_weight;   // irregular share
+};
+
+const std::map<std::string, NpbSpec>& npb_specs() {
+  static const std::map<std::string, NpbSpec> kSpecs = {
+      // name      footprint     hot          mid          stream chase
+      {"BT", {760 * MiB /*r*/, 0.55, 4, 0.18, 96, 0.25, 0.02}},
+      {"CG", {920 * MiB /*r*/, 0.58, 4, 0.20, 128, 0.07, 0.15}},
+      {"DC", {5876ull * MiB, 0.45, 8, 0.28, 256, 0.17, 0.10}},
+      {"EP", {16 * MiB, 0.90, 8, 0.10, 16, 0.00, 0.00}},
+      {"FT", {5147ull * MiB, 0.42, 8, 0.12, 256, 0.44, 0.02}},
+      {"IS", {164 * MiB, 0.50, 4, 0.20, 64, 0.15, 0.15}},
+      {"LU", {615 * MiB, 0.60, 4, 0.15, 64, 0.23, 0.02}},
+      {"MG", {3426ull * MiB, 0.48, 8, 0.22, 428, 0.28, 0.02}},
+      {"SP", {758 * MiB, 0.55, 4, 0.18, 96, 0.25, 0.02}},
+      {"UA", {510 * MiB /*r*/, 0.50, 4, 0.20, 64, 0.15, 0.15}},
+  };
+  return kSpecs;
+}
+
+}  // namespace
+
+std::unique_ptr<SyntheticWorkload> make_npb(const std::string& name,
+                                            std::uint64_t seed) {
+  const auto it = npb_specs().find(name);
+  assert(it != npb_specs().end());
+  const NpbSpec& s = it->second;
+
+  // CLASS C is unavailable for DC in NPB 3.3; the paper substitutes CLASS B.
+  const std::string cls = name == "DC" ? ".B" : ".C";
+  SyntheticWorkload::Params p;
+  p.name = name + cls;
+  p.description = "NPB 3.3 CLASS" + cls + " model (" + name + ")";
+  p.footprint_bytes = s.footprint;
+  p.read_fraction = 0.7;
+  p.mean_gap_cycles = 4;  // CPU reference level: dense
+  p.phase_length = 200'000;
+  p.seed = seed;
+
+  std::vector<MixtureComponent> c;
+  // L1/L2-resident traffic: real CPU reference streams hit the private
+  // caches >90% of the time; without this share every memory-system
+  // change would swing IPC by unrealistic amounts.
+  const double ultra = 0.94;
+  c.push_back(comp(std::make_unique<ZipfPattern>(0, 512 * KiB, 4 * KiB, 1.1,
+                                                 false, 0),
+                   ultra));
+  if (s.hot_weight > 0)
+    c.push_back(comp(std::make_unique<ZipfPattern>(0, s.hot_mb * MiB, 4 * KiB,
+                                                   1.0, true, 0),
+                     s.hot_weight * (1.0 - ultra)));
+  if (s.mid_weight > 0)
+    c.push_back(comp(std::make_unique<ZipfPattern>(
+                         0, std::min(s.mid_mb * MiB, s.footprint), 4 * KiB,
+                         1.1, true, 4),
+                     s.mid_weight * (1.0 - ultra)));
+  if (s.stream_weight > 0)
+    c.push_back(comp(std::make_unique<SequentialPattern>(0, s.footprint, 64),
+                     s.stream_weight * (1.0 - ultra)));
+  if (s.chase_weight > 0)
+    c.push_back(comp(std::make_unique<ChasePattern>(0, s.footprint, 4),
+                     s.chase_weight * (1.0 - ultra)));
+  return build(std::move(p), std::move(c));
+}
+
+const std::vector<WorkloadInfo>& npb_workloads() {
+  static const std::vector<WorkloadInfo> kList = [] {
+    std::vector<WorkloadInfo> v;
+    for (const auto& [name, spec] : npb_specs()) {
+      const std::string n = name;
+      const std::string cls = n == "DC" ? ".B" : ".C";
+      v.push_back({n + cls, "NPB 3.3 CLASS" + cls + " model", spec.footprint,
+                   [n](std::uint64_t s) { return make_npb(n, s); }});
+    }
+    return v;
+  }();
+  return kList;
+}
+
+}  // namespace hmm

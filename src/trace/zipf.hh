@@ -1,0 +1,70 @@
+// Zipf(s) sampler over {0, ..., n-1} by rejection inversion (Hörmann &
+// Derflinger), O(1) time and memory for arbitrary n — no CDF table, which
+// matters when the "items" are the millions of macro pages of a multi-GB
+// footprint.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace hmm {
+
+class ZipfSampler {
+ public:
+  /// n >= 1 items, exponent s > 0 (s ~ 0.8-1.2 covers typical workloads).
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    assert(n >= 1 && s > 0.0);
+    h_x1_ = h_integral(1.5) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n) + 0.5);
+    threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  }
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double s() const noexcept { return s_; }
+
+  /// Sample a 0-based rank (0 = hottest item).
+  std::uint64_t operator()(Pcg32& rng) const {
+    for (;;) {
+      const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+      const double x = h_integral_inverse(u);
+      std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (kd - x <= threshold_ || u >= h_integral(kd + 0.5) - h(kd)) {
+        return k - 1;
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of h(x) = x^-s.
+  [[nodiscard]] double h_integral(double x) const {
+    const double lx = std::log(x);
+    return helper2((1.0 - s_) * lx) * lx;
+  }
+  [[nodiscard]] double h(double x) const { return std::exp(-s_ * std::log(x)); }
+  [[nodiscard]] double h_integral_inverse(double x) const {
+    double t = x * (1.0 - s_);
+    if (t < -1.0) t = -1.0;  // numerical guard
+    return std::exp(helper1(t) * x);
+  }
+  // helper1(x) = log1p(x)/x, helper2(x) = expm1(x)/x (stable near 0).
+  [[nodiscard]] static double helper1(double x) {
+    return std::fabs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x * 0.5;
+  }
+  [[nodiscard]] static double helper2(double x) {
+    return std::fabs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x * 0.5;
+  }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double threshold_ = 0.0;
+};
+
+}  // namespace hmm

@@ -1,0 +1,179 @@
+// Cache model tests: set-associative behaviour, replacement policies,
+// writebacks, the inclusive hierarchy, and the DRAM L4 cache.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/dram_cache.hh"
+#include "cache/hierarchy.hh"
+#include "common/random.hh"
+
+namespace hmm {
+namespace {
+
+CacheConfig tiny(ReplacementPolicy p = ReplacementPolicy::Lru) {
+  return CacheConfig{"tiny", 4 * KiB, 4, 64, 1, p};  // 16 sets x 4 ways
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(tiny());
+  EXPECT_FALSE(c.access(0x1000, AccessType::Read).hit);
+  EXPECT_TRUE(c.access(0x1000, AccessType::Read).hit);
+  EXPECT_TRUE(c.access(0x1038, AccessType::Read).hit);  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(tiny());
+  // 5 lines mapping to set 0 (stride = sets * line = 1024).
+  for (int i = 0; i < 4; ++i)
+    c.access(static_cast<PhysAddr>(i) * 1024, AccessType::Read);
+  // Touch line 0 to refresh it; insert a 5th line; line 1 is the victim.
+  c.access(0, AccessType::Read);
+  const CacheAccess a = c.access(4 * 1024, AccessType::Read);
+  EXPECT_TRUE(a.evicted);
+  EXPECT_EQ(a.victim_addr, 1024u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(1024));
+}
+
+TEST(Cache, WritebackOnlyForDirtyVictims) {
+  Cache c(tiny());
+  c.access(0, AccessType::Write);  // dirty
+  c.access(1024, AccessType::Read);
+  c.access(2048, AccessType::Read);
+  c.access(3072, AccessType::Read);
+  const CacheAccess a = c.access(4096, AccessType::Read);  // evicts line 0
+  EXPECT_TRUE(a.evicted);
+  EXPECT_TRUE(a.writeback);
+  const CacheAccess b = c.access(5120, AccessType::Read);  // evicts clean
+  EXPECT_TRUE(b.evicted);
+  EXPECT_FALSE(b.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  Cache c(tiny());
+  c.access(0, AccessType::Read);
+  c.access(0, AccessType::Write);  // hit, now dirty
+  c.access(1024, AccessType::Read);
+  c.access(2048, AccessType::Read);
+  c.access(3072, AccessType::Read);
+  EXPECT_TRUE(c.access(4096, AccessType::Read).writeback);
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c(tiny());
+  c.access(0x2000, AccessType::Write);
+  EXPECT_TRUE(c.contains(0x2000));
+  EXPECT_TRUE(c.invalidate(0x2000));
+  EXPECT_FALSE(c.contains(0x2000));
+  EXPECT_FALSE(c.invalidate(0x2000));  // already gone
+}
+
+TEST(Cache, VictimAddressRoundTrips) {
+  Cache c(tiny());
+  Pcg32 rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const PhysAddr a = rng.bounded64(1 * MiB) & ~63ull;
+    const CacheAccess r = c.access(a, AccessType::Read);
+    if (r.evicted) {
+      // The reported victim must map to the same set as the newcomer.
+      EXPECT_EQ((r.victim_addr >> 6) & 15ull, (a >> 6) & 15ull);
+    }
+  }
+}
+
+class CachePolicyTest : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(CachePolicyTest, HitRateOnSkewedStreamIsHigh) {
+  Cache c(tiny(GetParam()));
+  Pcg32 rng(2);
+  std::uint64_t hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    // 90% of accesses to 8 hot lines, 10% to a 1MB region.
+    const PhysAddr a = rng.chance(0.9)
+                           ? static_cast<PhysAddr>(rng.bounded(8)) * 64
+                           : rng.bounded64(1 * MiB) & ~63ull;
+    hits += c.access(a, AccessType::Read).hit;
+  }
+  EXPECT_GT(static_cast<double>(hits) / n, 0.80);
+}
+
+TEST_P(CachePolicyTest, EveryAccessAccounted) {
+  Cache c(tiny(GetParam()));
+  Pcg32 rng(3);
+  for (int i = 0; i < 10000; ++i)
+    c.access(rng.bounded64(256 * KiB) & ~63ull, AccessType::Read);
+  EXPECT_EQ(c.hits() + c.misses(), 10000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CachePolicyTest,
+                         ::testing::Values(ReplacementPolicy::Lru,
+                                           ReplacementPolicy::ClockPseudoLru,
+                                           ReplacementPolicy::Random));
+
+TEST(Hierarchy, HitLevelsAndLatencies) {
+  CacheHierarchy h(1);
+  const HierarchyResult miss = h.access(0, 0x100000, AccessType::Read);
+  EXPECT_EQ(miss.hit_level, 4u);
+  EXPECT_TRUE(miss.memory_access);
+  EXPECT_EQ(miss.lookup_latency, 2u + 5u + 25u);
+
+  const HierarchyResult l1 = h.access(0, 0x100000, AccessType::Read);
+  EXPECT_EQ(l1.hit_level, 1u);
+  EXPECT_EQ(l1.lookup_latency, 2u);
+}
+
+TEST(Hierarchy, PrivateCachesAreSeparate) {
+  CacheHierarchy h(2);
+  h.access(0, 0x100000, AccessType::Read);
+  // CPU 1 misses its own L1/L2 but hits the shared L3.
+  const HierarchyResult r = h.access(1, 0x100000, AccessType::Read);
+  EXPECT_EQ(r.hit_level, 3u);
+}
+
+TEST(Hierarchy, InclusiveBackInvalidation) {
+  // A line hot in CPU 0's L1 never refreshes its L3 recency (L1 hits do
+  // not reach the L3), so CPU 1 thrashing the same L3 set evicts it and
+  // the inclusive L3 must back-invalidate CPU 0's copy.
+  CacheHierarchy h(2);
+  const PhysAddr x = 0;
+  h.access(0, x, AccessType::Read);
+  // 8MB/16-way/64B L3 -> 8192 sets; same-set stride is 512KB.
+  for (int i = 1; i <= 17 && h.back_invalidations() == 0; ++i)
+    h.access(1, static_cast<PhysAddr>(i) * 8192 * 64, AccessType::Read);
+  EXPECT_GT(h.back_invalidations(), 0u);
+  EXPECT_EQ(h.access(0, x, AccessType::Read).hit_level, 4u);  // truly gone
+}
+
+TEST(DramCacheL4, HitCostsTwoAccesses) {
+  DramCache l4(1 * GiB, 70);
+  const DramCache::Result miss = l4.access(0x5000, AccessType::Read);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.latency, 70u);  // tag read alone detects the miss
+  EXPECT_TRUE(miss.memory_access);
+
+  const DramCache::Result hit = l4.access(0x5000, AccessType::Read);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.latency, 140u);  // tag read then data read
+  EXPECT_FALSE(hit.memory_access);
+}
+
+TEST(DramCacheL4, FifteenSixteenthsUsable) {
+  DramCache l4(1 * GiB, 70);
+  EXPECT_EQ(l4.hit_latency(), 140u);
+  EXPECT_EQ(l4.miss_determination_latency(), 70u);
+  // 15-way organisation: 16 lines in set 0's row minus the tag line.
+  // Insert 15 lines mapping to one set without eviction, 16th evicts.
+  // sets = (15/16 GiB) / (64 * 15) = 2^20.
+  const std::uint64_t stride = (1ull << 20) * 64;  // same set, new tag
+  for (int i = 0; i < 15; ++i)
+    l4.access(static_cast<PhysAddr>(i) * stride, AccessType::Read);
+  for (int i = 0; i < 15; ++i)
+    EXPECT_TRUE(l4.access(static_cast<PhysAddr>(i) * stride,
+                          AccessType::Read).hit);
+}
+
+}  // namespace
+}  // namespace hmm

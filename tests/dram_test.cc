@@ -1,0 +1,283 @@
+// DRAM substrate tests: address mapping, bank timing, FR-FCFS scheduling,
+// bus reservation, background-priority behaviour, and queueing scaling.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.hh"
+#include "dram/dram_system.hh"
+
+namespace hmm {
+namespace {
+
+DramTiming off_timing() { return DramTiming::off_package_ddr3_1333(); }
+DramTiming on_timing() { return DramTiming::on_package_sip(); }
+
+TEST(AddressMapping, DecodeIsInjectivePerLine) {
+  const AddressMapping map(4, off_timing());
+  std::set<std::tuple<unsigned, unsigned, std::uint64_t, std::uint64_t>> seen;
+  Pcg32 rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const MachAddr a = rng.bounded64(1ull << 32) & ~63ull;
+    const DramCoordinates c = map.decode(a);
+    EXPECT_LT(c.channel, 4u);
+    EXPECT_LT(c.bank, off_timing().banks);
+    seen.insert({c.channel, c.bank, c.row, c.column});
+  }
+  // Distinct lines decode to distinct coordinates (bijectivity sample).
+  std::set<MachAddr> lines;
+  Pcg32 rng2(1);
+  for (int i = 0; i < 20000; ++i)
+    lines.insert(rng2.bounded64(1ull << 32) & ~63ull);
+  EXPECT_EQ(seen.size(), lines.size());
+}
+
+TEST(AddressMapping, SequentialLinesRotateChannels) {
+  const AddressMapping map(4, off_timing());
+  std::set<unsigned> channels;
+  for (MachAddr a = 0; a < 64 * 8; a += 64)
+    channels.insert(map.decode(a).channel);
+  EXPECT_EQ(channels.size(), 4u);
+}
+
+TEST(AddressMapping, SequentialLinesShareRow) {
+  // Lines within one row-bank span keep the same row (open-page locality).
+  const AddressMapping map(1, on_timing());
+  const DramCoordinates c0 = map.decode(0);
+  const DramCoordinates c1 = map.decode(64);
+  EXPECT_EQ(c0.row, c1.row);
+}
+
+TEST(AddressMapping, XorFoldSpreadsPowerOfTwoStrides) {
+  const AddressMapping map(1, on_timing());
+  std::set<unsigned> banks;
+  // 896MB-aligned bases used to collide on one bank without folding.
+  for (int j = 0; j < 8; ++j)
+    banks.insert(map.decode(static_cast<MachAddr>(j) * 896 * MiB).bank);
+  EXPECT_GE(banks.size(), 6u);
+}
+
+TEST(AddressMapping, NoFoldKeepsPlainDecode) {
+  const AddressMapping map(1, on_timing(), AddressMapping::Scheme::RowBankColChan,
+                           64, /*xor_fold=*/false);
+  EXPECT_EQ(map.decode(0).bank, 0u);
+  EXPECT_EQ(map.decode(0).channel, 0u);
+}
+
+TEST(DramChannel, RowHitIsFasterThanConflict) {
+  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+                           64, false);
+  DramChannel ch(off_timing(), map);
+
+  auto serve = [&](MachAddr addr, Cycle at) {
+    DramRequest r;
+    r.addr = addr;
+    r.arrival = at;
+    ch.submit(r);
+    ch.drain_all(at);
+    const auto done = ch.take_completions();
+    EXPECT_EQ(done.size(), 1u);
+    return done[0];
+  };
+
+  const DramCompletion first = serve(0, 0);        // cold activate
+  const DramCompletion hit = serve(64, 100000);    // same row
+  const DramCompletion conflict =
+      serve(1ull << 22, 200000);                   // same bank, other row
+  EXPECT_TRUE(hit.row_hit);
+  EXPECT_FALSE(first.row_hit);
+  EXPECT_FALSE(conflict.row_hit);
+  EXPECT_LT(hit.finish - hit.arrival, first.finish - first.arrival);
+  EXPECT_LT(first.finish - first.arrival, conflict.finish - conflict.arrival);
+}
+
+TEST(DramChannel, FrFcfsPrefersRowHit) {
+  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+                           64, false);
+  DramChannel ch(off_timing(), map);
+  // Open row 0 in bank 0.
+  DramRequest warm;
+  warm.addr = 0;
+  warm.arrival = 0;
+  ch.submit(warm);
+  ch.drain_all(0);
+  ch.take_completions();
+
+  // Conflict request arrives first, row hit second; FR-FCFS serves the
+  // hit first.
+  DramRequest miss;
+  miss.addr = 1ull << 22;  // bank 0, different row
+  miss.arrival = 1000;
+  DramRequest hit;
+  hit.addr = 128;  // bank 0, row 0
+  hit.arrival = 1000;
+  ch.submit(miss);
+  ch.submit(hit);
+  ch.drain_all(1001);
+  const auto done = ch.take_completions();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_TRUE(done[0].row_hit);
+  EXPECT_LT(done[0].finish, done[1].finish);
+}
+
+TEST(DramChannel, FcfsServesInOrder) {
+  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+                           64, false);
+  DramChannel ch(off_timing(), map, SchedulerPolicy::Fcfs);
+  DramRequest warm;
+  warm.addr = 0;
+  warm.arrival = 0;
+  ch.submit(warm);
+  ch.drain_all(0);
+  ch.take_completions();
+
+  DramRequest miss;
+  miss.addr = 1ull << 22;
+  miss.arrival = 1000;
+  DramRequest hit;
+  hit.addr = 128;
+  hit.arrival = 1001;
+  ch.submit(miss);
+  ch.submit(hit);
+  ch.drain_all(1001);
+  const auto done = ch.take_completions();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_FALSE(done[0].row_hit);  // the older conflict goes first
+}
+
+TEST(DramChannel, StarvationControlBoundsBypass) {
+  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+                           64, false);
+  DramChannel ch(off_timing(), map);
+  DramRequest warm;
+  warm.addr = 0;
+  warm.arrival = 0;
+  ch.submit(warm);
+  ch.drain_all(0);
+  ch.take_completions();
+
+  // One conflict request plus a long run of row hits arriving later; the
+  // conflict must still be served within the starvation window.
+  DramRequest miss;
+  miss.addr = 1ull << 22;
+  miss.arrival = 100;
+  ch.submit(miss);
+  for (int i = 1; i <= 50; ++i) {
+    DramRequest hit;
+    hit.addr = static_cast<MachAddr>(64 * i);
+    hit.arrival = 100 + static_cast<Cycle>(i);
+    ch.submit(hit);
+  }
+  ch.drain_all(200);
+  const auto done = ch.take_completions();
+  Cycle miss_start = 0;
+  for (const auto& c : done)
+    if (!c.row_hit) miss_start = c.start;
+  EXPECT_GT(miss_start, 0u);
+  EXPECT_LT(miss_start, 100 + 2000u);
+}
+
+TEST(DramChannel, BackgroundYieldsToDemand) {
+  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+                           64, false);
+  DramChannel ch(off_timing(), map);
+  DramRequest bg;
+  bg.addr = 1 * MiB;
+  bg.priority = Priority::Background;
+  bg.arrival = 0;
+  DramRequest fg;
+  fg.addr = 2 * MiB;
+  fg.priority = Priority::Demand;
+  fg.arrival = 0;
+  ch.submit(bg);
+  ch.submit(fg);
+  ch.drain_all(0);
+  const auto done = ch.take_completions();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].priority, Priority::Demand);
+}
+
+TEST(DramChannel, StreamingChunkOccupiesBusProportionally) {
+  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+                           64, false);
+  DramChannel ch(off_timing(), map);
+  DramRequest chunk;
+  chunk.addr = 0;
+  chunk.bytes = 4096;  // 64 bursts
+  chunk.arrival = 0;
+  ch.submit(chunk);
+  ch.drain_all(0);
+  const auto done = ch.take_completions();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_GE(done[0].finish - done[0].start,
+            off_timing().tBurst * (4096 / 64));
+}
+
+TEST(DramSystem, RoutesToDecodedChannel) {
+  DramSystem sys = DramSystem::make(Region::OffPackage);
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const MachAddr a = rng.bounded64(1ull << 31);
+    sys.submit(a, 64, AccessType::Read, Priority::Demand, 0);
+  }
+  sys.drain_all(0);
+  std::size_t served = 0;
+  for (unsigned c = 0; c < sys.num_channels(); ++c) {
+    const auto& ch = sys.channel(c);
+    served += ch.row_hits() + ch.row_misses();
+    EXPECT_GT(ch.row_hits() + ch.row_misses(), 100u);  // roughly balanced
+  }
+  EXPECT_EQ(served, 1000u);
+}
+
+TEST(DramSystem, ChannelHintOverridesRouting) {
+  DramSystem sys = DramSystem::make(Region::OffPackage);
+  for (int i = 0; i < 64; ++i)
+    sys.submit(static_cast<MachAddr>(i) * 4096, 64, AccessType::Read,
+               Priority::Demand, 0, /*channel_hint=*/2);
+  sys.drain_all(0);
+  EXPECT_EQ(sys.channel(2).row_hits() + sys.channel(2).row_misses(), 64u);
+}
+
+TEST(DramSystem, ManyBanksQueueLessThanFewBanks) {
+  // The paper's claim: under random load, the 128-bank on-package DRAM has
+  // far less queueing than the 8-bank-per-channel off-package DRAM at the
+  // same per-channel pressure.
+  DramSystem off(Region::OffPackage, DramTiming::off_package_ddr3_1333(), 1,
+                 SchedulerPolicy::FrFcfs);
+  DramSystem on(Region::OnPackage, DramTiming::on_package_sip(), 1,
+                SchedulerPolicy::FrFcfs);
+  Pcg32 rng(5);
+  Cycle now = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const MachAddr a = rng.bounded64(1ull << 30);
+    off.submit(a, 64, AccessType::Read, Priority::Demand, now);
+    on.submit(a, 64, AccessType::Read, Priority::Demand, now);
+    now += 30;
+    off.drain_until(now);
+    on.drain_until(now);
+    off.take_completions();
+    on.take_completions();
+  }
+  EXPECT_LT(on.mean_queue_delay(), off.mean_queue_delay());
+}
+
+TEST(DramSystem, WireOverheadMatchesLedger) {
+  EXPECT_EQ(DramSystem::make(Region::OnPackage).wire_overhead(), 20u);
+  EXPECT_EQ(DramSystem::make(Region::OffPackage).wire_overhead(), 34u);
+}
+
+TEST(DramSystem, StatsResetClearsCounters) {
+  DramSystem sys = DramSystem::make(Region::OffPackage);
+  sys.submit(0, 64, AccessType::Read, Priority::Demand, 0);
+  sys.drain_all(0);
+  sys.take_completions();
+  EXPECT_GT(sys.demand_bytes(), 0u);
+  sys.reset_stats();
+  EXPECT_EQ(sys.demand_bytes(), 0u);
+  EXPECT_EQ(sys.background_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hmm

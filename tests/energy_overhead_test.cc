@@ -1,0 +1,70 @@
+// Energy model (Section IV-D) and hardware-overhead model (Fig 10) tests.
+#include <gtest/gtest.h>
+
+#include "core/overhead.hh"
+#include "power/energy_model.hh"
+
+namespace hmm {
+namespace {
+
+TEST(Energy, PerBitConstants) {
+  // 64B = 512 bits through core + link.
+  EXPECT_DOUBLE_EQ(EnergyModel::access_pj(Region::OnPackage, 64),
+                   512 * (5.0 + 1.66));
+  EXPECT_DOUBLE_EQ(EnergyModel::access_pj(Region::OffPackage, 64),
+                   512 * (5.0 + 13.0));
+}
+
+TEST(Energy, OffOnlyBaseline) {
+  EXPECT_DOUBLE_EQ(EnergyModel::off_only_pj(64), 512 * 18.0);
+}
+
+TEST(Energy, HybridBreakdownAddsUp) {
+  const EnergyBreakdown e = EnergyModel::hybrid(64, 64, 64, 64);
+  EXPECT_DOUBLE_EQ(e.demand_on_pj, 512 * 6.66);
+  EXPECT_DOUBLE_EQ(e.demand_off_pj, 512 * 18.0);
+  EXPECT_DOUBLE_EQ(e.migration_pj, 512 * 6.66 + 512 * 18.0);
+  EXPECT_DOUBLE_EQ(e.total_pj(),
+                   e.demand_on_pj + e.demand_off_pj + e.migration_pj);
+}
+
+TEST(Energy, OnPackageDemandIsCheaperThanOffOnly) {
+  // Moving demand on-package must reduce energy when no migration runs.
+  const double hybrid =
+      EnergyModel::hybrid(1000, 0, 0, 0).total_pj();
+  const double off_only = EnergyModel::off_only_pj(1000);
+  EXPECT_LT(hybrid, off_only);
+}
+
+TEST(Overhead, PaperReferencePoint) {
+  // 1GB on-package, 4MB pages, 48-bit space => the paper's 9,228 bits.
+  const HardwareOverhead o = migration_hardware_overhead(1 * GiB, 4 * MiB);
+  EXPECT_EQ(o.table_bits, 7168u);       // 256 x (26 + 2)
+  EXPECT_EQ(o.fill_bitmap_bits, 1024u); // 4MB / 4KB
+  EXPECT_EQ(o.plru_bits, 256u);
+  EXPECT_EQ(o.multi_queue_bits, 780u);  // 3 x 10 x 26
+  EXPECT_EQ(o.total(), 9228u);
+}
+
+TEST(Overhead, GrowsMonotonicallyAsPagesShrink) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t page = 4 * MiB; page >= 4 * KiB; page /= 2) {
+    const std::uint64_t total =
+        migration_hardware_overhead(1 * GiB, page).total();
+    if (prev != 0) EXPECT_GT(total, prev);
+    prev = total;
+  }
+  // ~1E7 bits at 4KB, as Fig 10 shows.
+  EXPECT_GT(migration_hardware_overhead(1 * GiB, 4 * KiB).total(), 9'000'000u);
+  EXPECT_LT(migration_hardware_overhead(1 * GiB, 4 * KiB).total(), 20'000'000u);
+}
+
+TEST(Overhead, ScalesWithOnPackageCapacity) {
+  const auto half = migration_hardware_overhead(512 * MiB, 4 * MiB);
+  const auto full = migration_hardware_overhead(1 * GiB, 4 * MiB);
+  EXPECT_EQ(half.table_bits * 2, full.table_bits);
+  EXPECT_EQ(half.plru_bits * 2, full.plru_bits);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,84 @@
+// Trace file round-trip and error handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/io.hh"
+#include "trace/workloads.hh"
+
+namespace hmm {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIo, RoundTrip) {
+  const std::string path = temp_path("roundtrip.hmmtrace");
+  std::vector<TraceRecord> records;
+  auto gen = make_pgbench(13);
+  {
+    TraceWriter w(path, "pgbench");
+    for (int i = 0; i < 5000; ++i) {
+      records.push_back(gen->next());
+      w.write(records.back());
+    }
+    w.close();
+    EXPECT_EQ(w.written(), 5000u);
+  }
+  TraceReader r(path);
+  EXPECT_EQ(r.count(), 5000u);
+  EXPECT_EQ(r.workload_name(), "pgbench");
+  for (const TraceRecord& want : records) {
+    const auto got = r.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->addr, want.addr);
+    EXPECT_EQ(got->timestamp, want.timestamp);
+    EXPECT_EQ(got->cpu, want.cpu);
+    EXPECT_EQ(got->type, want.type);
+  }
+  EXPECT_FALSE(r.next().has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTrace) {
+  const std::string path = temp_path("empty.hmmtrace");
+  {
+    TraceWriter w(path, "none");
+    w.close();
+  }
+  TraceReader r(path);
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_FALSE(r.next().has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(TraceReader("/nonexistent/path/trace"), std::runtime_error);
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  const std::string path = temp_path("garbage.hmmtrace");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a trace file at all, padded to header size........";
+  }
+  EXPECT_THROW(TraceReader{path}, std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LongWorkloadNameIsTruncatedSafely) {
+  const std::string path = temp_path("longname.hmmtrace");
+  const std::string name(200, 'x');
+  {
+    TraceWriter w(path, name);
+    w.close();
+  }
+  TraceReader r(path);
+  EXPECT_EQ(r.workload_name().size(), 63u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hmm

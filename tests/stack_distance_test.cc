@@ -1,0 +1,117 @@
+// Stack-distance profiler tests, including a property test against a
+// reference fully-associative LRU cache simulation.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/stack_distance.hh"
+#include "common/random.hh"
+#include "common/units.hh"
+
+namespace hmm {
+namespace {
+
+/// Reference fully-associative LRU cache (line-granular).
+class RefLru {
+ public:
+  explicit RefLru(std::uint64_t capacity_lines) : cap_(capacity_lines) {}
+
+  bool access(PhysAddr addr) {
+    const std::uint64_t line = addr >> 6;
+    const auto it = pos_.find(line);
+    if (it != pos_.end()) {
+      order_.erase(it->second);
+      order_.push_front(line);
+      pos_[line] = order_.begin();
+      return true;
+    }
+    order_.push_front(line);
+    pos_[line] = order_.begin();
+    if (order_.size() > cap_) {
+      pos_.erase(order_.back());
+      order_.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  std::uint64_t cap_;
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> pos_;
+};
+
+TEST(StackDistance, SimpleSequence) {
+  StackDistanceProfiler p({1, 2, 4});
+  // a b a : second 'a' has distance 1 => hits at capacity >= 2.
+  p.access(0);
+  p.access(64);
+  p.access(0);
+  EXPECT_EQ(p.accesses(), 3u);
+  EXPECT_EQ(p.cold_misses(), 2u);
+  EXPECT_DOUBLE_EQ(p.miss_ratio(0), 1.0);            // capacity 1: all miss
+  EXPECT_DOUBLE_EQ(p.miss_ratio(1), 2.0 / 3.0);      // capacity 2
+  EXPECT_DOUBLE_EQ(p.miss_ratio(2), 2.0 / 3.0);
+}
+
+TEST(StackDistance, ImmediateReuseIsMru) {
+  StackDistanceProfiler p({1});
+  p.access(0);
+  p.access(0);
+  p.access(0);
+  EXPECT_DOUBLE_EQ(p.miss_ratio(0), 1.0 / 3.0);  // only the cold miss
+}
+
+TEST(StackDistance, WarmRatioExcludesColdMisses) {
+  StackDistanceProfiler p({1});
+  p.access(0);
+  p.access(0);
+  EXPECT_DOUBLE_EQ(p.warm_miss_ratio(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.miss_ratio(0), 0.5);
+}
+
+TEST(StackDistance, DistinctLineCount) {
+  StackDistanceProfiler p({64});
+  for (int i = 0; i < 100; ++i) p.access(static_cast<PhysAddr>(i % 10) * 64);
+  EXPECT_EQ(p.distinct_lines(), 10u);
+  EXPECT_EQ(p.cold_misses(), 10u);
+}
+
+class StackDistanceVsLru
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StackDistanceVsLru, MatchesReferenceCache) {
+  const std::uint64_t cap = GetParam();
+  StackDistanceProfiler p({cap});
+  RefLru ref(cap);
+  Pcg32 rng(42);
+  std::uint64_t ref_hits = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    // Skewed stream to exercise all distances.
+    const PhysAddr a = rng.chance(0.5)
+                           ? static_cast<PhysAddr>(rng.bounded(64)) * 64
+                           : rng.bounded64(1 * MiB) & ~63ull;
+    ref_hits += ref.access(a);
+    p.access(a);
+  }
+  const double ref_miss = 1.0 - static_cast<double>(ref_hits) / n;
+  EXPECT_NEAR(p.miss_ratio(0), ref_miss, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, StackDistanceVsLru,
+                         ::testing::Values(8, 64, 256, 2048, 16384));
+
+TEST(StackDistance, RebuildPreservesState) {
+  // Force many rebuilds with a long stream; monotonicity of miss ratios
+  // across capacities must hold throughout.
+  StackDistanceProfiler p({16, 256, 4096});
+  Pcg32 rng(7);
+  for (int i = 0; i < 300000; ++i) p.access(rng.bounded64(8 * MiB) & ~63ull);
+  EXPECT_GE(p.miss_ratio(0), p.miss_ratio(1));
+  EXPECT_GE(p.miss_ratio(1), p.miss_ratio(2));
+  EXPECT_EQ(p.accesses(), 300000u);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,102 @@
+// Property fuzzer: long random sequences of hottest-coldest swaps across
+// all designs and several geometries. After every completed swap the
+// hardware encoding must agree with the placement shadow map, every page
+// must be addressable, and the machine-address mapping must stay a
+// bijection (no two pages resolving to the same machine page).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+#include "core/migration.hh"
+
+namespace hmm {
+namespace {
+
+struct FuzzParam {
+  MigrationDesign design;
+  std::uint64_t total;
+  std::uint64_t on;
+  std::uint64_t page;
+};
+
+class SwapFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(SwapFuzz, RandomSwapSequencesPreserveAllInvariants) {
+  const FuzzParam fp = GetParam();
+  const Geometry g{fp.total, fp.on, fp.page,
+                   std::min<std::uint64_t>(fp.page, 64 * KiB)};
+  ASSERT_TRUE(g.valid());
+
+  TranslationTable table(g, fp.design == MigrationDesign::N
+                                ? TableMode::FunctionalN
+                                : TableMode::HardwareNMinus1);
+  DramSystem on(Region::OnPackage, DramTiming::on_package_sip(), 1,
+                SchedulerPolicy::FrFcfs);
+  DramSystem off(Region::OffPackage, DramTiming::off_package_ddr3_1333(), 4,
+                 SchedulerPolicy::FrFcfs);
+  MigrationEngine engine(table, on, off,
+                         MigrationEngine::Config{fp.design, true, 0});
+
+  Pcg32 rng(0xf422ull + fp.page);
+  const PageId pages = g.total_pages();
+  int completed = 0;
+
+  for (int iter = 0; iter < 300; ++iter) {
+    const PageId hot = rng.bounded64(pages);
+    const auto cold = static_cast<SlotId>(rng.bounded(g.slots()));
+    if (!engine.can_swap(hot, cold)) continue;
+    ASSERT_TRUE(engine.start_swap(
+        hot, static_cast<std::uint32_t>(rng.bounded(
+                 g.sub_blocks_per_page())),
+        cold, 0));
+    int guard = 0;
+    while (!engine.idle() && ++guard < 100000) {
+      on.drain_all(0);
+      off.drain_all(0);
+      const auto a = on.take_completions();
+      const auto b = off.take_completions();
+      for (const auto& c : a) engine.on_completion(c, Region::OnPackage);
+      for (const auto& c : b) engine.on_completion(c, Region::OffPackage);
+      if (a.empty() && b.empty()) break;
+    }
+    ASSERT_TRUE(engine.idle()) << "swap never completed";
+    ++completed;
+
+    // Invariant 1: encoding-vs-shadow agreement + structural checks.
+    const std::string err = table.validate();
+    ASSERT_TRUE(err.empty()) << err << " after swap " << completed;
+
+    // Invariant 2: the physical->machine map is a bijection on pages
+    // (Ω may only be home to the current ghost page).
+    std::set<PageId> machine_pages;
+    for (PageId p = 0; p + 1 < pages; ++p) {
+      const Route r = table.translate(g.machine_base(p));
+      const PageId mp = r.mach >> g.page_shift();
+      ASSERT_LT(mp, pages);
+      ASSERT_TRUE(machine_pages.insert(mp).second)
+          << "two pages share machine page " << mp << " after swap "
+          << completed;
+    }
+
+    // Invariant 3: the hot page really is on-package now.
+    EXPECT_EQ(table.translate(g.machine_base(hot)).region,
+              Region::OnPackage);
+  }
+  EXPECT_GT(completed, 20);  // the fuzzer exercised real work
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsAndGeometries, SwapFuzz,
+    ::testing::Values(
+        FuzzParam{MigrationDesign::NMinus1, 16 * MiB, 4 * MiB, 512 * KiB},
+        FuzzParam{MigrationDesign::NMinus1, 32 * MiB, 4 * MiB, 256 * KiB},
+        FuzzParam{MigrationDesign::LiveMigration, 16 * MiB, 4 * MiB,
+                  512 * KiB},
+        FuzzParam{MigrationDesign::LiveMigration, 64 * MiB, 16 * MiB,
+                  1 * MiB},
+        FuzzParam{MigrationDesign::N, 16 * MiB, 4 * MiB, 512 * KiB},
+        FuzzParam{MigrationDesign::N, 32 * MiB, 8 * MiB, 1 * MiB}));
+
+}  // namespace
+}  // namespace hmm

@@ -1,0 +1,91 @@
+// Section II system-simulation tests: the Fig 5 configuration ordering
+// and the Fig 4 miss-rate curve properties.
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+namespace hmm {
+namespace {
+
+double ipc_of(MemOption opt, const std::string& npb, std::uint64_t n) {
+  SystemSim::Config cfg;
+  cfg.option = opt;
+  auto gen = make_npb(npb, 17);
+  SystemSim sim(cfg);
+  return sim.run(*gen, n, n / 2).ipc;
+}
+
+TEST(SystemSim, IdealBeatsBaselineOnEveryWorkload) {
+  for (const char* name : {"CG", "LU", "MG"}) {
+    EXPECT_GT(ipc_of(MemOption::AllOnPackage, name, 150000),
+              ipc_of(MemOption::Baseline, name, 150000))
+        << name;
+  }
+}
+
+TEST(SystemSim, StaticEqualsIdealWhenFootprintFits) {
+  // LU.C (615MB) fits the 1GB on-package region entirely.
+  const double stat = ipc_of(MemOption::StaticHetero, "LU", 150000);
+  const double ideal = ipc_of(MemOption::AllOnPackage, "LU", 150000);
+  EXPECT_NEAR(stat, ideal, ideal * 0.01);
+}
+
+TEST(SystemSim, StaticTrailsIdealWhenFootprintOverflows) {
+  // DC.B (5.8GB) cannot fit: the static mapping must lose to the ideal.
+  const double stat = ipc_of(MemOption::StaticHetero, "DC", 200000);
+  const double ideal = ipc_of(MemOption::AllOnPackage, "DC", 200000);
+  EXPECT_LT(stat, ideal * 0.99);
+  EXPECT_GT(stat, ipc_of(MemOption::Baseline, "DC", 200000));
+}
+
+TEST(SystemSim, L4NeverBeatsStaticMapping) {
+  // The paper's central Section II claim.
+  for (const char* name : {"CG", "MG"}) {
+    EXPECT_LT(ipc_of(MemOption::L4Cache, name, 150000),
+              ipc_of(MemOption::StaticHetero, name, 150000))
+        << name;
+  }
+}
+
+TEST(SystemSim, ReportsMemoryLatencyPerOption) {
+  SystemSim::Config cfg;
+  cfg.option = MemOption::Baseline;
+  auto gen = make_npb("CG", 3);
+  SystemSim sim(cfg);
+  const Sec2Result r = sim.run(*gen, 50000);
+  EXPECT_DOUBLE_EQ(r.avg_memory_latency, 200.0);
+  EXPECT_GT(r.l3_misses, 0u);
+
+  SystemSim::Config ideal;
+  ideal.option = MemOption::AllOnPackage;
+  auto gen2 = make_npb("CG", 3);
+  SystemSim sim2(ideal);
+  EXPECT_DOUBLE_EQ(sim2.run(*gen2, 50000).avg_memory_latency, 70.0);
+}
+
+TEST(MissRateCurve, MonotoneNonIncreasing) {
+  auto gen = make_npb("MG", 29);
+  const std::vector<std::uint64_t> caps = {1 * MiB, 8 * MiB, 64 * MiB,
+                                           512 * MiB};
+  const std::vector<double> rates = llc_miss_rate_curve(*gen, 400000, caps);
+  ASSERT_EQ(rates.size(), caps.size());
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    EXPECT_LE(rates[i], rates[i - 1] + 1e-12);
+  for (const double r : rates) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(MissRateCurve, FootprintCapacityZeroesColdMisses) {
+  auto gen = make_npb("EP", 29);  // 16MB footprint
+  const std::vector<std::uint64_t> caps = {1 * MiB, 32 * MiB};
+  const std::vector<double> rates =
+      llc_miss_rate_curve(*gen, 300000, caps, 16 * MiB);
+  EXPECT_GT(rates[0], 0.0);
+  EXPECT_NEAR(rates[1], 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace hmm

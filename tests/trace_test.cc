@@ -1,0 +1,218 @@
+// Trace infrastructure tests: zipf sampler statistics, pattern behaviour,
+// the mixture generator, and the workload factories.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/generator.hh"
+#include "trace/workloads.hh"
+#include "trace/zipf.hh"
+
+namespace hmm {
+namespace {
+
+TEST(Zipf, RanksInBounds) {
+  ZipfSampler z(1000, 1.0);
+  Pcg32 rng(1);
+  for (int i = 0; i < 50000; ++i) EXPECT_LT(z(rng), 1000u);
+}
+
+TEST(Zipf, RankZeroIsHottest) {
+  ZipfSampler z(10000, 1.0);
+  Pcg32 rng(2);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[z(rng)];
+  int max_count = 0;
+  std::uint64_t max_rank = 0;
+  for (const auto& [r, c] : counts)
+    if (c > max_count) {
+      max_count = c;
+      max_rank = r;
+    }
+  EXPECT_EQ(max_rank, 0u);
+  // Frequencies roughly follow 1/k: rank 0 ~ 2x rank 1 at s=1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.4);
+}
+
+TEST(Zipf, HigherExponentIsMoreSkewed) {
+  Pcg32 a(3), b(3);
+  ZipfSampler mild(100000, 0.8), sharp(100000, 1.3);
+  int mild_top = 0, sharp_top = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_top += mild(a) < 10;
+    sharp_top += sharp(b) < 10;
+  }
+  EXPECT_GT(sharp_top, mild_top * 2);
+}
+
+TEST(Zipf, SingleItemDegenerate) {
+  ZipfSampler z(1, 1.0);
+  Pcg32 rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 0u);
+}
+
+TEST(Patterns, SequentialWrapsInRegion) {
+  SequentialPattern p(4096, 1024, 64);
+  Pcg32 rng(1);
+  std::set<PhysAddr> seen;
+  for (int i = 0; i < 64; ++i) {
+    const PhysAddr a = p.next(rng);
+    EXPECT_GE(a, 4096u);
+    EXPECT_LT(a, 4096u + 1024u);
+    seen.insert(a);
+  }
+  EXPECT_EQ(seen.size(), 16u);  // 1024/64 distinct, then wrapped
+}
+
+TEST(Patterns, SequentialSlabRotatesOnPhase) {
+  SequentialPattern p(0, 4096, 64, 1024);
+  Pcg32 rng(1);
+  EXPECT_LT(p.next(rng), 1024u);
+  p.on_phase(rng);
+  const PhysAddr a = p.next(rng);
+  EXPECT_GE(a, 1024u);
+  EXPECT_LT(a, 2048u);
+  // Four phases wrap back to the first slab.
+  p.on_phase(rng);
+  p.on_phase(rng);
+  p.on_phase(rng);
+  EXPECT_LT(p.next(rng), 1024u);
+}
+
+TEST(Patterns, UniformCoversRegion) {
+  UniformPattern p(1 * MiB, 64 * KiB);
+  Pcg32 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const PhysAddr a = p.next(rng);
+    EXPECT_GE(a, 1 * MiB);
+    EXPECT_LT(a, 1 * MiB + 64 * KiB);
+    EXPECT_EQ(a % 64, 0u);
+  }
+}
+
+TEST(Patterns, ZipfStaysInRegionAndScatters) {
+  ZipfPattern p(2 * MiB, 1 * MiB, 4 * KiB, 1.0, true, 0);
+  Pcg32 rng(3);
+  std::set<std::uint64_t> granules;
+  for (int i = 0; i < 20000; ++i) {
+    const PhysAddr a = p.next(rng);
+    EXPECT_GE(a, 2 * MiB);
+    EXPECT_LT(a, 3 * MiB);
+    granules.insert((a - 2 * MiB) / (4 * KiB));
+  }
+  EXPECT_GT(granules.size(), 50u);  // spread over many granules
+}
+
+TEST(Patterns, ZipfDriftMovesHotSet) {
+  ZipfPattern p(0, 1 * MiB, 4 * KiB, 1.2, true, 8);
+  Pcg32 rng(4);
+  auto hottest_granule = [&] {
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i) ++counts[p.next(rng) / (4 * KiB)];
+    std::uint64_t best = 0;
+    int best_count = 0;
+    for (const auto& [g, c] : counts)
+      if (c > best_count) {
+        best_count = c;
+        best = g;
+      }
+    return best;
+  };
+  const std::uint64_t before = hottest_granule();
+  p.on_phase(rng);
+  const std::uint64_t after = hottest_granule();
+  EXPECT_NE(before, after);
+}
+
+TEST(Patterns, ChaseStaysInRegion) {
+  ChasePattern p(0, 256 * KiB, 4);
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(p.next(rng), 256 * KiB);
+}
+
+TEST(Patterns, StridedChangesStrideAcrossPhases) {
+  StridedPattern p(0, 1 * MiB, 64, 4096);
+  Pcg32 rng(6);
+  const PhysAddr a0 = p.next(rng);
+  const PhysAddr a1 = p.next(rng);
+  EXPECT_EQ(a1 - a0, 64u);
+  std::set<std::uint64_t> strides;
+  for (int k = 0; k < 32; ++k) {
+    p.on_phase(rng);
+    const PhysAddr b0 = p.next(rng);
+    const PhysAddr b1 = p.next(rng);
+    strides.insert(b1 - b0);
+  }
+  EXPECT_GT(strides.size(), 2u);
+}
+
+TEST(Generator, DeterministicBySeed) {
+  auto a = make_pgbench(99);
+  auto b = make_pgbench(99);
+  for (int i = 0; i < 2000; ++i) {
+    const TraceRecord ra = a->next();
+    const TraceRecord rb = b->next();
+    EXPECT_EQ(ra.addr, rb.addr);
+    EXPECT_EQ(ra.timestamp, rb.timestamp);
+    EXPECT_EQ(ra.cpu, rb.cpu);
+  }
+}
+
+TEST(Generator, TimestampsMonotoneAndPaced) {
+  auto g = make_specjbb(5);
+  Cycle prev = 0;
+  double sum_gap = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const TraceRecord r = g->next();
+    EXPECT_GE(r.timestamp, prev);
+    sum_gap += static_cast<double>(r.timestamp - prev);
+    prev = r.timestamp;
+  }
+  EXPECT_NEAR(sum_gap / n, 12.0, 2.0);  // SPECjbb mean gap
+}
+
+TEST(Generator, CpuAttributionCoversAllCores) {
+  auto g = make_spec2006_mixture(6);
+  std::set<CpuId> cpus;
+  for (int i = 0; i < 10000; ++i) cpus.insert(g->next().cpu);
+  EXPECT_EQ(cpus.size(), 4u);
+}
+
+TEST(Generator, ReadFractionApproximatelyHonoured) {
+  auto g = make_ft(7);
+  int reads = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) reads += g->next().type == AccessType::Read;
+  EXPECT_NEAR(static_cast<double>(reads) / n, 0.65, 0.02);
+}
+
+TEST(Workloads, Section4AddressesStayBelowReservedTop) {
+  for (const WorkloadInfo& w : section4_workloads()) {
+    auto g = w.make(11);
+    for (int i = 0; i < 50000; ++i) {
+      EXPECT_LT(g->next().addr, 4 * GiB - 64 * MiB) << w.name;
+    }
+  }
+}
+
+TEST(Workloads, RegistriesAreComplete) {
+  EXPECT_EQ(section4_workloads().size(), 6u);
+  EXPECT_EQ(npb_workloads().size(), 10u);
+  for (const WorkloadInfo& w : npb_workloads()) {
+    EXPECT_GT(w.footprint_bytes, 0u);
+    auto g = w.make(1);
+    EXPECT_LT(g->next().addr, w.footprint_bytes);
+  }
+}
+
+TEST(Workloads, NpbUsesClassBForDC) {
+  auto dc = make_npb("DC", 1);
+  EXPECT_EQ(dc->name(), "DC.B");
+  auto ft = make_npb("FT", 1);
+  EXPECT_EQ(ft->name(), "FT.C");
+}
+
+}  // namespace
+}  // namespace hmm

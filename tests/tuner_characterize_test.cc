@@ -1,0 +1,93 @@
+// Tests for the adaptive-granularity tuner (the paper's proposed
+// extension) and the trace characterizer.
+#include <gtest/gtest.h>
+
+#include "sim/tuner.hh"
+#include "trace/characterize.hh"
+#include "trace/workloads.hh"
+
+namespace hmm {
+namespace {
+
+TEST(Characterizer, BasicCounters) {
+  TraceCharacterizer c(4 * KiB, {8 * KiB, 64 * KiB});
+  for (int i = 0; i < 100; ++i) {
+    TraceRecord r;
+    r.addr = static_cast<PhysAddr>(i % 4) * 4 * KiB;
+    r.timestamp = static_cast<Cycle>(i) * 10;
+    r.cpu = static_cast<CpuId>(i % 2);
+    r.type = i % 5 == 0 ? AccessType::Write : AccessType::Read;
+    c.add(r);
+  }
+  const TraceProfile p = c.profile();
+  EXPECT_EQ(p.accesses, 100u);
+  EXPECT_EQ(p.distinct_pages, 4u);
+  EXPECT_EQ(p.footprint_bytes, 16 * KiB);
+  EXPECT_NEAR(p.read_fraction, 0.8, 0.01);
+  EXPECT_NEAR(p.mean_gap_cycles, 10.0, 0.2);
+  ASSERT_EQ(p.per_cpu.size(), 2u);
+  EXPECT_EQ(p.per_cpu[0], 50u);
+}
+
+TEST(Characterizer, ConcentrationCurveIsMonotone) {
+  TraceCharacterizer c(64 * KiB, {64 * MiB, 256 * MiB, 512 * MiB});
+  auto g = make_pgbench(1);
+  for (int i = 0; i < 100000; ++i) c.add(g->next());
+  const TraceProfile p = c.profile();
+  ASSERT_EQ(p.traffic_share.size(), 3u);
+  EXPECT_LE(p.traffic_share[0], p.traffic_share[1]);
+  EXPECT_LE(p.traffic_share[1], p.traffic_share[2]);
+  EXPECT_GT(p.traffic_share[0], 0.0);
+  EXPECT_LE(p.traffic_share[2], 1.0);
+}
+
+TEST(Characterizer, SkewedStreamConcentratesFast) {
+  // A pure zipf stream should put most traffic in a small byte budget; a
+  // uniform stream should not.
+  TraceCharacterizer zipfy(4 * KiB, {1 * MiB});
+  TraceCharacterizer flat(4 * KiB, {1 * MiB});
+  Pcg32 rng(2);
+  ZipfSampler z(16384, 1.2);
+  for (int i = 0; i < 50000; ++i) {
+    TraceRecord r;
+    r.addr = z(rng) * 4 * KiB;
+    zipfy.add(r);
+    r.addr = rng.bounded64(16384) * 4 * KiB;
+    flat.add(r);
+  }
+  EXPECT_GT(zipfy.profile().traffic_share[0],
+            flat.profile().traffic_share[0] * 2);
+}
+
+TEST(Tuner, FindsAGranularityAndReportsProbes) {
+  TunerConfig cfg;
+  cfg.candidate_pages = {64 * KiB, 4 * MiB};
+  cfg.probe_accesses = 15000;
+  cfg.rounds = 1;
+  GranularityTuner tuner(cfg);
+  const TunerOutcome out =
+      tuner.tune([](std::uint64_t s) { return make_pgbench(s); }, 3);
+  EXPECT_TRUE(out.best_page_bytes == 64 * KiB ||
+              out.best_page_bytes == 4 * MiB);
+  EXPECT_GT(out.best_latency, 0.0);
+  // 2 candidates probed + 1 confirmation.
+  EXPECT_GE(out.probes.size(), 3u);
+  for (const ProbeResult& p : out.probes) {
+    EXPECT_GT(p.avg_latency, 0.0);
+    EXPECT_GE(p.on_package_fraction, 0.0);
+    EXPECT_LE(p.on_package_fraction, 1.0);
+  }
+}
+
+TEST(Tuner, SingleCandidateShortCircuits) {
+  TunerConfig cfg;
+  cfg.candidate_pages = {256 * KiB};
+  cfg.probe_accesses = 10000;
+  GranularityTuner tuner(cfg);
+  const TunerOutcome out =
+      tuner.tune([](std::uint64_t s) { return make_specjbb(s); }, 5);
+  EXPECT_EQ(out.best_page_bytes, 256 * KiB);
+}
+
+}  // namespace
+}  // namespace hmm
