@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ipc_comparison.dir/fig05_ipc_comparison.cc.o"
+  "CMakeFiles/fig05_ipc_comparison.dir/fig05_ipc_comparison.cc.o.d"
+  "fig05_ipc_comparison"
+  "fig05_ipc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ipc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

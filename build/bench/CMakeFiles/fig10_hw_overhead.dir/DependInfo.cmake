@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_hw_overhead.cc" "bench/CMakeFiles/fig10_hw_overhead.dir/fig10_hw_overhead.cc.o" "gcc" "bench/CMakeFiles/fig10_hw_overhead.dir/fig10_hw_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hmm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hmm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_swap_algorithms.dir/fig11_swap_algorithms.cc.o"
+  "CMakeFiles/fig11_swap_algorithms.dir/fig11_swap_algorithms.cc.o.d"
+  "fig11_swap_algorithms"
+  "fig11_swap_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_swap_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_granularity_1k.dir/fig12_granularity_1k.cc.o"
+  "CMakeFiles/fig12_granularity_1k.dir/fig12_granularity_1k.cc.o.d"
+  "fig12_granularity_1k"
+  "fig12_granularity_1k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_granularity_1k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_granularity_1k.
+# This may be replaced when dependencies are built.

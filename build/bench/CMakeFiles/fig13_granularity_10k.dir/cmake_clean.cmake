@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_granularity_10k.dir/fig13_granularity_10k.cc.o"
+  "CMakeFiles/fig13_granularity_10k.dir/fig13_granularity_10k.cc.o.d"
+  "fig13_granularity_10k"
+  "fig13_granularity_10k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_granularity_10k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_granularity_100k.dir/fig14_granularity_100k.cc.o"
+  "CMakeFiles/fig14_granularity_100k.dir/fig14_granularity_100k.cc.o.d"
+  "fig14_granularity_100k"
+  "fig14_granularity_100k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_granularity_100k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_capacity_sensitivity.dir/fig15_capacity_sensitivity.cc.o"
+  "CMakeFiles/fig15_capacity_sensitivity.dir/fig15_capacity_sensitivity.cc.o.d"
+  "fig15_capacity_sensitivity"
+  "fig15_capacity_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_capacity_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_power.dir/fig16_power.cc.o"
+  "CMakeFiles/fig16_power.dir/fig16_power.cc.o.d"
+  "fig16_power"
+  "fig16_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_effectiveness.dir/table4_effectiveness.cc.o"
+  "CMakeFiles/table4_effectiveness.dir/table4_effectiveness.cc.o.d"
+  "table4_effectiveness"
+  "table4_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_stencil.dir/hpc_stencil.cpp.o"
+  "CMakeFiles/hpc_stencil.dir/hpc_stencil.cpp.o.d"
+  "hpc_stencil"
+  "hpc_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

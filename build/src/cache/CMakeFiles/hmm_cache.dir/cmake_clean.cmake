@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_cache.dir/cache.cc.o"
+  "CMakeFiles/hmm_cache.dir/cache.cc.o.d"
+  "CMakeFiles/hmm_cache.dir/dram_cache.cc.o"
+  "CMakeFiles/hmm_cache.dir/dram_cache.cc.o.d"
+  "CMakeFiles/hmm_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/hmm_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/hmm_cache.dir/stack_distance.cc.o"
+  "CMakeFiles/hmm_cache.dir/stack_distance.cc.o.d"
+  "libhmm_cache.a"
+  "libhmm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_common.dir/table.cc.o"
+  "CMakeFiles/hmm_common.dir/table.cc.o.d"
+  "libhmm_common.a"
+  "libhmm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

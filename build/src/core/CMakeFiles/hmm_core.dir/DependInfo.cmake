@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/hmm_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/hmm_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/hotness.cc" "src/core/CMakeFiles/hmm_core.dir/hotness.cc.o" "gcc" "src/core/CMakeFiles/hmm_core.dir/hotness.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/core/CMakeFiles/hmm_core.dir/migration.cc.o" "gcc" "src/core/CMakeFiles/hmm_core.dir/migration.cc.o.d"
+  "/root/repo/src/core/translation_table.cc" "src/core/CMakeFiles/hmm_core.dir/translation_table.cc.o" "gcc" "src/core/CMakeFiles/hmm_core.dir/translation_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hmm_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

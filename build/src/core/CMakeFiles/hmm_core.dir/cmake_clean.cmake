@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_core.dir/controller.cc.o"
+  "CMakeFiles/hmm_core.dir/controller.cc.o.d"
+  "CMakeFiles/hmm_core.dir/hotness.cc.o"
+  "CMakeFiles/hmm_core.dir/hotness.cc.o.d"
+  "CMakeFiles/hmm_core.dir/migration.cc.o"
+  "CMakeFiles/hmm_core.dir/migration.cc.o.d"
+  "CMakeFiles/hmm_core.dir/translation_table.cc.o"
+  "CMakeFiles/hmm_core.dir/translation_table.cc.o.d"
+  "libhmm_core.a"
+  "libhmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_dram.dir/channel.cc.o"
+  "CMakeFiles/hmm_dram.dir/channel.cc.o.d"
+  "CMakeFiles/hmm_dram.dir/dram_system.cc.o"
+  "CMakeFiles/hmm_dram.dir/dram_system.cc.o.d"
+  "libhmm_dram.a"
+  "libhmm_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

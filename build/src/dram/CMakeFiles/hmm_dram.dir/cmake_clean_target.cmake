@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmm_dram.a"
+)

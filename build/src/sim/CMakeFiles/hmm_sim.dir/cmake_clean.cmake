@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_sim.dir/memsim.cc.o"
+  "CMakeFiles/hmm_sim.dir/memsim.cc.o.d"
+  "CMakeFiles/hmm_sim.dir/system.cc.o"
+  "CMakeFiles/hmm_sim.dir/system.cc.o.d"
+  "CMakeFiles/hmm_sim.dir/tuner.cc.o"
+  "CMakeFiles/hmm_sim.dir/tuner.cc.o.d"
+  "libhmm_sim.a"
+  "libhmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

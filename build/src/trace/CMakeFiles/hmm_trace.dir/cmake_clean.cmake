@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_trace.dir/characterize.cc.o"
+  "CMakeFiles/hmm_trace.dir/characterize.cc.o.d"
+  "CMakeFiles/hmm_trace.dir/generator.cc.o"
+  "CMakeFiles/hmm_trace.dir/generator.cc.o.d"
+  "CMakeFiles/hmm_trace.dir/io.cc.o"
+  "CMakeFiles/hmm_trace.dir/io.cc.o.d"
+  "CMakeFiles/hmm_trace.dir/workloads.cc.o"
+  "CMakeFiles/hmm_trace.dir/workloads.cc.o.d"
+  "libhmm_trace.a"
+  "libhmm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/hmm_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/hmm_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/controller_test.cc" "tests/CMakeFiles/hmm_tests.dir/controller_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/controller_test.cc.o.d"
+  "/root/repo/tests/dram_test.cc" "tests/CMakeFiles/hmm_tests.dir/dram_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/dram_test.cc.o.d"
+  "/root/repo/tests/energy_overhead_test.cc" "tests/CMakeFiles/hmm_tests.dir/energy_overhead_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/energy_overhead_test.cc.o.d"
+  "/root/repo/tests/hotness_test.cc" "tests/CMakeFiles/hmm_tests.dir/hotness_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/hotness_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/hmm_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/memsim_test.cc" "tests/CMakeFiles/hmm_tests.dir/memsim_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/memsim_test.cc.o.d"
+  "/root/repo/tests/migration_engine_test.cc" "tests/CMakeFiles/hmm_tests.dir/migration_engine_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/migration_engine_test.cc.o.d"
+  "/root/repo/tests/migration_plan_test.cc" "tests/CMakeFiles/hmm_tests.dir/migration_plan_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/migration_plan_test.cc.o.d"
+  "/root/repo/tests/stack_distance_test.cc" "tests/CMakeFiles/hmm_tests.dir/stack_distance_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/stack_distance_test.cc.o.d"
+  "/root/repo/tests/swap_fuzz_test.cc" "tests/CMakeFiles/hmm_tests.dir/swap_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/swap_fuzz_test.cc.o.d"
+  "/root/repo/tests/system_sim_test.cc" "tests/CMakeFiles/hmm_tests.dir/system_sim_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/system_sim_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/hmm_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/translation_table_test.cc" "tests/CMakeFiles/hmm_tests.dir/translation_table_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/translation_table_test.cc.o.d"
+  "/root/repo/tests/tuner_characterize_test.cc" "tests/CMakeFiles/hmm_tests.dir/tuner_characterize_test.cc.o" "gcc" "tests/CMakeFiles/hmm_tests.dir/tuner_characterize_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hmm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hmm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hmm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
