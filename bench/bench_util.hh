@@ -2,17 +2,28 @@
 //
 // Every binary prints the paper's rows/series at a scaled-down trace
 // length (the paper replays trillions of references; see DESIGN.md §4
-// "Scaling note"). Environment knobs:
+// "Scaling note"). Knobs:
 //   HMM_BENCH_SCALE   multiply every trace length (default 1.0; use 4-10
 //                     for closer-to-steady-state numbers, 0.2 for smoke)
+//   --jobs N / HMM_JOBS    worker threads for the sweep runner (default:
+//                          hardware concurrency; 1 = the old serial loop)
+//   --smoke / HMM_SMOKE    shrink the grid to one workload / one or two
+//                          configs (the bench_smoke ctest path)
+//   HMM_RESULTS_DIR        where sweep JSON artifacts land (default
+//                          ./results; "" disables them)
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 
 #include "common/params.hh"
+#include "runner/progress.hh"
+#include "runner/result_sink.hh"
+#include "runner/runner.hh"
 #include "sim/memsim.hh"
 #include "trace/workloads.hh"
 
@@ -28,6 +39,58 @@ namespace hmm::bench {
 
 [[nodiscard]] inline std::uint64_t scaled(std::uint64_t n) {
   return static_cast<std::uint64_t>(static_cast<double>(n) * scale());
+}
+
+/// `--jobs N` / `--jobs=N` / `-j N` from argv, else HMM_JOBS, else 0
+/// (which the runner resolves to hardware concurrency).
+[[nodiscard]] inline unsigned jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* val = nullptr;
+    if (std::strncmp(a, "--jobs=", 7) == 0) {
+      val = a + 7;
+    } else if ((std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) &&
+               i + 1 < argc) {
+      val = argv[i + 1];
+    }
+    if (val != nullptr) {
+      const long v = std::strtol(val, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+  }
+  if (const char* e = std::getenv("HMM_JOBS")) {
+    const long v = std::strtol(e, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
+/// `--smoke` / HMM_SMOKE=1: one tiny cell per axis so ctest can exercise
+/// every converted bench in milliseconds.
+[[nodiscard]] inline bool smoke(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  if (const char* e = std::getenv("HMM_SMOKE")) return e[0] != '\0' && e[0] != '0';
+  return false;
+}
+
+/// Runner options for a bench binary: --jobs/HMM_JOBS, base seed 42 (the
+/// historical bench seed), progress lines on stderr (stdout stays tables).
+[[nodiscard]] inline runner::RunnerOptions runner_options(int argc,
+                                                          char** argv) {
+  static runner::ConsoleProgress progress(std::cerr);
+  runner::RunnerOptions o;
+  o.jobs = jobs(argc, argv);
+  o.base_seed = 42;
+  o.observer = &progress;
+  return o;
+}
+
+/// Announce where a sweep's JSON artifact landed (path is "" when the
+/// sink is disabled or the write failed).
+inline void report_artifact(const std::string& path) {
+  if (!path.empty()) std::cerr << "[runner] wrote " << path << "\n";
 }
 
 /// Section IV geometry with the given macro-page size and on-package size.
@@ -89,6 +152,25 @@ namespace hmm::bench {
   cfg.controller.geom = sec4_geometry(page_bytes, on_package);
   cfg.controller.migration_enabled = false;
   return cfg;
+}
+
+/// Build one sweep cell. `key` must be unique within the grid; `seed_key`
+/// groups cells that must replay the same reference stream (all cells of
+/// one workload within a figure, so with/without-migration comparisons
+/// stay paired, as they were when every serial run used one fixed seed).
+[[nodiscard]] inline runner::ExperimentSpec cell(
+    std::string key, std::string seed_key, const WorkloadInfo& w,
+    const MemSimConfig& cfg, std::uint64_t n, double warmup_fraction = 0.5,
+    bool instant_warmup = true) {
+  runner::ExperimentSpec s;
+  s.key = std::move(key);
+  s.seed_key = std::move(seed_key);
+  s.workload = w;
+  s.config = cfg;
+  s.accesses = n;
+  s.warmup_fraction = warmup_fraction;
+  s.instant_warmup = instant_warmup;
+  return s;
 }
 
 }  // namespace hmm::bench

@@ -7,6 +7,9 @@
 // at high swap frequency (blocking swaps dominate); N-1 overlaps the copy
 // with execution; Live shaves a further few percent; at fine granularity
 // (4KB) the three converge.
+//
+// The full workload x interval x page x design grid (plus guides) runs as
+// one parallel sweep; pass --jobs N to use N worker threads.
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -16,41 +19,85 @@
 
 using namespace hmm;
 
-int main() {
+namespace {
+
+[[nodiscard]] const char* design_name(MigrationDesign d) {
+  switch (d) {
+    case MigrationDesign::N: return "N";
+    case MigrationDesign::NMinus1: return "N-1";
+    case MigrationDesign::LiveMigration: return "Live";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const std::uint64_t n = bench::scaled(240'000);
-  const std::vector<std::uint64_t> pages = {4 * KiB, 16 * KiB, 64 * KiB,
-                                            256 * KiB, 1 * MiB, 4 * MiB};
-  const std::vector<std::uint64_t> intervals = {1'000, 10'000, 100'000};
+  std::vector<std::uint64_t> pages = {4 * KiB,   16 * KiB, 64 * KiB,
+                                      256 * KiB, 1 * MiB,  4 * MiB};
+  std::vector<std::uint64_t> intervals = {1'000, 10'000, 100'000};
   const std::vector<MigrationDesign> designs = {
       MigrationDesign::N, MigrationDesign::NMinus1,
       MigrationDesign::LiveMigration};
+  std::vector<WorkloadInfo> workloads = section4_workloads();
+  if (bench::smoke(argc, argv)) {
+    pages = {256 * KiB};
+    intervals = {10'000};
+    workloads.resize(1);
+  }
 
   std::printf("Fig 11: avg memory latency, designs x granularity x swap "
               "interval (%llu accesses/cfg)\n\n",
               static_cast<unsigned long long>(n));
 
-  for (const WorkloadInfo& w : section4_workloads()) {
-    // Guide lines.
+  // Grid: per workload, the three guide cells then the full matrix; every
+  // cell of a workload shares its reference stream.
+  std::vector<runner::ExperimentSpec> grid;
+  for (const WorkloadInfo& w : workloads) {
+    const std::string wk = "fig11/" + w.name;
     MemSimConfig off_cfg = bench::static_config(4 * MiB);
     off_cfg.force = MemSimConfig::Force::AllOffPackage;
-    const double all_off = bench::run(w, off_cfg, n / 2).avg_latency;
+    grid.push_back(bench::cell(wk + "/all-off", wk, w, off_cfg, n / 2));
     MemSimConfig on_cfg = bench::static_config(4 * MiB);
     on_cfg.force = MemSimConfig::Force::AllOnPackage;
-    const double all_on = bench::run(w, on_cfg, n / 2).avg_latency;
-    const double nomig =
-        bench::run(w, bench::static_config(4 * MiB), n / 2).avg_latency;
+    grid.push_back(bench::cell(wk + "/all-on", wk, w, on_cfg, n / 2));
+    grid.push_back(
+        bench::cell(wk + "/static", wk, w, bench::static_config(4 * MiB), n / 2));
+    for (const std::uint64_t interval : intervals) {
+      for (const std::uint64_t page : pages) {
+        for (const MigrationDesign d : designs) {
+          grid.push_back(bench::cell(
+              wk + "/i" + std::to_string(interval) + "/" + format_size(page) +
+                  "/" + design_name(d),
+              wk, w, bench::migration_config(page, d, interval), n));
+        }
+      }
+    }
+  }
 
+  const std::vector<runner::CellResult> cells =
+      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+
+  auto latency = [](const runner::CellResult& c) {
+    return c.ok ? TextTable::num(c.result.avg_latency) : std::string("FAILED");
+  };
+
+  std::size_t i = 0;
+  for (const WorkloadInfo& w : workloads) {
+    const runner::CellResult& all_off = cells[i++];
+    const runner::CellResult& all_on = cells[i++];
+    const runner::CellResult& nomig = cells[i++];
     std::printf("== %s  (all-off %.1f | all-on %.1f | w/o migration %.1f)\n",
-                w.name.c_str(), all_off, all_on, nomig);
+                w.name.c_str(), all_off.result.avg_latency,
+                all_on.result.avg_latency, nomig.result.avg_latency);
 
     for (const std::uint64_t interval : intervals) {
       TextTable t({"page", "N", "N-1", "Live"});
       for (const std::uint64_t page : pages) {
         std::vector<std::string> row{format_size(page)};
-        for (const MigrationDesign d : designs) {
-          const RunResult r =
-              bench::run(w, bench::migration_config(page, d, interval), n);
-          row.push_back(TextTable::num(r.avg_latency));
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+          row.push_back(latency(cells[i++]));
         }
         t.add_row(std::move(row));
       }
@@ -60,5 +107,9 @@ int main() {
     }
     std::printf("\n");
   }
+
+  runner::ResultSink sink("fig11_swap_algorithms");
+  sink.set_param("accesses", n);
+  bench::report_artifact(sink.write_json(cells));
   return 0;
 }

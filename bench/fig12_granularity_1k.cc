@@ -3,6 +3,7 @@
 // aggressive setting — minimum latencies of the three interval figures).
 #include "bench/granularity_sweep.hh"
 
-int main() {
-  return hmm::bench::run_granularity_sweep(1'000, "Fig 12");
+int main(int argc, char** argv) {
+  return hmm::bench::run_granularity_sweep(argc, argv, 1'000, "Fig 12",
+                                           "fig12_granularity_1k");
 }

@@ -2,6 +2,7 @@
 // migration, swap interval = 10K memory accesses.
 #include "bench/granularity_sweep.hh"
 
-int main() {
-  return hmm::bench::run_granularity_sweep(10'000, "Fig 13");
+int main(int argc, char** argv) {
+  return hmm::bench::run_granularity_sweep(argc, argv, 10'000, "Fig 13",
+                                           "fig13_granularity_10k");
 }

@@ -2,6 +2,7 @@
 // migration, swap interval = 100K memory accesses.
 #include "bench/granularity_sweep.hh"
 
-int main() {
-  return hmm::bench::run_granularity_sweep(100'000, "Fig 14");
+int main(int argc, char** argv) {
+  return hmm::bench::run_granularity_sweep(argc, argv, 100'000, "Fig 14",
+                                           "fig14_granularity_100k");
 }

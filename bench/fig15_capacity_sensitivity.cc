@@ -2,7 +2,8 @@
 // DRAM core latency, average latency with migration, and without.
 //
 // Paper shape: latency rises as the on-package region shrinks, but stays
-// well below the no-migration latency even at 128MB.
+// well below the no-migration latency even at 128MB. The workload x
+// capacity grid runs as one parallel sweep (--jobs N).
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -12,12 +13,16 @@
 
 using namespace hmm;
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint64_t n = bench::scaled(400'000);
-  const std::vector<std::uint64_t> capacities = {128 * MiB, 256 * MiB,
-                                                 512 * MiB};
+  std::vector<std::uint64_t> capacities = {128 * MiB, 256 * MiB, 512 * MiB};
   const std::uint64_t page = 256 * KiB;
   const std::uint64_t interval = 1'000;
+  std::vector<WorkloadInfo> workloads = section4_workloads();
+  if (bench::smoke(argc, argv)) {
+    capacities = {256 * MiB};
+    workloads.resize(1);
+  }
 
   std::printf("Fig 15: latency vs on-package capacity (live migration, "
               "%s pages, %llu-access epochs, %llu accesses/cfg)\n\n",
@@ -25,28 +30,52 @@ int main() {
               static_cast<unsigned long long>(interval),
               static_cast<unsigned long long>(n));
 
-  TextTable t({"Workload", "Capacity", "Core lat", "w/ migration",
-               "w/o migration"});
-  for (const WorkloadInfo& w : section4_workloads()) {
+  // Grid: per (workload, capacity): ideal all-on-package (for the core
+  // latency), with migration, and without.
+  std::vector<runner::ExperimentSpec> grid;
+  for (const WorkloadInfo& w : workloads) {
+    const std::string wk = "fig15/" + w.name;
     for (const std::uint64_t cap : capacities) {
+      const std::string ck = wk + "/" + format_size(cap);
       MemSimConfig ideal = bench::static_config(page, cap);
       ideal.force = MemSimConfig::Force::AllOnPackage;
-      const RunResult allon = bench::run(w, ideal, n / 2);
-      const double core = allon.avg_latency - allon.on_queue_delay;
-
-      const RunResult mig = bench::run(
-          w,
+      grid.push_back(bench::cell(ck + "/all-on", wk, w, ideal, n / 2));
+      grid.push_back(bench::cell(
+          ck + "/migration", wk, w,
           bench::migration_config(page, MigrationDesign::LiveMigration,
                                   interval, cap),
-          n);
-      const RunResult nomig =
-          bench::run(w, bench::static_config(page, cap), n / 2);
+          n));
+      grid.push_back(
+          bench::cell(ck + "/static", wk, w, bench::static_config(page, cap),
+                      n / 2));
+    }
+  }
 
+  const std::vector<runner::CellResult> cells =
+      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+
+  runner::ResultSink sink("fig15_capacity_sensitivity");
+  sink.set_param("page", format_size(page));
+  sink.set_param("interval", interval);
+  sink.set_param("accesses", n);
+
+  TextTable t({"Workload", "Capacity", "Core lat", "w/ migration",
+               "w/o migration"});
+  std::size_t i = 0;
+  for (const WorkloadInfo& w : workloads) {
+    for (const std::uint64_t cap : capacities) {
+      const runner::CellResult& allon = cells[i++];
+      const runner::CellResult& mig = cells[i++];
+      const runner::CellResult& nomig = cells[i++];
+      const double core =
+          allon.result.avg_latency - allon.result.on_queue_delay;
+      sink.add_derived(allon.key, "core_latency", core);
       t.add_row({w.name, format_size(cap), TextTable::num(core),
-                 TextTable::num(mig.avg_latency),
-                 TextTable::num(nomig.avg_latency)});
+                 TextTable::num(mig.result.avg_latency),
+                 TextTable::num(nomig.result.avg_latency)});
     }
   }
   t.print(std::cout);
+  bench::report_artifact(sink.write_json(cells));
   return 0;
 }

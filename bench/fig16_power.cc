@@ -5,7 +5,9 @@
 //
 // Paper shape: power overhead grows with migration frequency and page
 // size (crossing-package copy traffic); the minimum observed overhead is
-// about 2x, at 4KB granularity with infrequent swaps.
+// about 2x, at 4KB granularity with infrequent swaps. The 6x3x3 grid runs
+// as one parallel sweep (--jobs N).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -15,10 +17,16 @@
 
 using namespace hmm;
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint64_t n = bench::scaled(300'000);
-  const std::vector<std::uint64_t> pages = {4 * KiB, 16 * KiB, 64 * KiB};
-  const std::vector<std::uint64_t> intervals = {1'000, 10'000, 100'000};
+  std::vector<std::uint64_t> pages = {4 * KiB, 16 * KiB, 64 * KiB};
+  std::vector<std::uint64_t> intervals = {1'000, 10'000, 100'000};
+  std::vector<WorkloadInfo> workloads = section4_workloads();
+  if (bench::smoke(argc, argv)) {
+    pages = {16 * KiB};
+    intervals = {10'000};
+    workloads.resize(1);
+  }
 
   std::printf("Fig 16: memory power normalized to off-package-only "
               "(%llu accesses/cfg)\n",
@@ -28,21 +36,34 @@ int main() {
               params::kDramCorePjPerBit, params::kOnPackageLinkPjPerBit,
               params::kOffPackageLinkPjPerBit);
 
-  TextTable t({"Workload", "Size", "1K", "10K", "100K"});
-  double min_ratio = 1e300;
-  for (const WorkloadInfo& w : section4_workloads()) {
+  // Power must include the warm-up migration traffic proportionally, so
+  // every cell uses real migration dynamics (no instant warm-up).
+  std::vector<runner::ExperimentSpec> grid;
+  for (const WorkloadInfo& w : workloads) {
+    const std::string wk = "fig16/" + w.name;
     for (const std::uint64_t page : pages) {
-      std::vector<std::string> row{w.name, format_size(page)};
       for (const std::uint64_t interval : intervals) {
-        // Power must include the warm-up migration traffic proportionally,
-        // so use real migration dynamics throughout (no instant warm-up).
-        const RunResult r = bench::run(
-            w,
+        grid.push_back(bench::cell(
+            wk + "/" + format_size(page) + "/i" + std::to_string(interval),
+            wk, w,
             bench::migration_config(page, MigrationDesign::LiveMigration,
                                     interval),
-            n, /*warmup_fraction=*/0.0, /*seed=*/42,
-            /*instant_warmup=*/false);
-        const double ratio = r.normalized_power();
+            n, /*warmup_fraction=*/0.0, /*instant_warmup=*/false));
+      }
+    }
+  }
+
+  const std::vector<runner::CellResult> cells =
+      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+
+  TextTable t({"Workload", "Size", "1K", "10K", "100K"});
+  double min_ratio = 1e300;
+  std::size_t i = 0;
+  for (const WorkloadInfo& w : workloads) {
+    for (const std::uint64_t page : pages) {
+      std::vector<std::string> row{w.name, format_size(page)};
+      for (std::size_t k = 0; k < intervals.size(); ++k) {
+        const double ratio = cells[i++].result.normalized_power();
         min_ratio = std::min(min_ratio, ratio);
         row.push_back(TextTable::num(ratio, 2) + "x");
       }
@@ -51,5 +72,10 @@ int main() {
   }
   t.print(std::cout);
   std::printf("\nminimum observed overhead: %.2fx (paper: ~2x)\n", min_ratio);
+
+  runner::ResultSink sink("fig16_power");
+  sink.set_param("accesses", n);
+  sink.set_param("design", "LiveMigration");
+  bench::report_artifact(sink.write_json(cells));
   return 0;
 }

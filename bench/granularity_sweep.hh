@@ -1,5 +1,6 @@
 // Shared driver for Figs 12/13/14: live migration, average memory latency
-// across macro-page granularities at a fixed swap interval.
+// across macro-page granularities at a fixed swap interval. The whole
+// workload x granularity grid runs as one parallel sweep (--jobs N).
 #pragma once
 
 #include <cstdio>
@@ -11,33 +12,61 @@
 
 namespace hmm::bench {
 
-inline int run_granularity_sweep(std::uint64_t interval,
-                                 const char* figure_name) {
+inline int run_granularity_sweep(int argc, char** argv, std::uint64_t interval,
+                                 const char* figure_name,
+                                 const char* bench_id) {
   const std::uint64_t n = scaled(400'000);
-  const std::vector<std::uint64_t> pages = {4 * KiB, 16 * KiB, 64 * KiB,
-                                            256 * KiB, 1 * MiB, 4 * MiB};
+  std::vector<std::uint64_t> pages = {4 * KiB,   16 * KiB, 64 * KiB,
+                                      256 * KiB, 1 * MiB,  4 * MiB};
+  std::vector<WorkloadInfo> workloads = section4_workloads();
+  if (smoke(argc, argv)) {
+    pages = {64 * KiB};
+    workloads.resize(1);
+  }
 
   std::printf("%s: avg memory latency, live migration, swap interval = "
               "%llu accesses (%llu accesses/cfg)\n\n",
               figure_name, static_cast<unsigned long long>(interval),
               static_cast<unsigned long long>(n));
 
-  TextTable t({"Workload", "4KB", "16KB", "64KB", "256KB", "1MB", "4MB",
-               "w/o migration"});
-  for (const WorkloadInfo& w : section4_workloads()) {
-    std::vector<std::string> row{w.name};
+  // Grid: per workload, one cell per granularity plus the no-migration
+  // reference; all cells of a workload share its reference stream.
+  std::vector<runner::ExperimentSpec> grid;
+  for (const WorkloadInfo& w : workloads) {
+    const std::string wk = std::string(bench_id) + "/" + w.name;
     for (const std::uint64_t page : pages) {
-      const RunResult r = run(
-          w,
+      grid.push_back(cell(
+          wk + "/" + format_size(page), wk, w,
           migration_config(page, MigrationDesign::LiveMigration, interval),
-          n);
-      row.push_back(TextTable::num(r.avg_latency));
+          n));
     }
-    row.push_back(
-        TextTable::num(run(w, static_config(4 * MiB), n / 2).avg_latency));
+    grid.push_back(cell(wk + "/static", wk, w, static_config(4 * MiB), n / 2));
+  }
+
+  const std::vector<runner::CellResult> cells =
+      runner::ExperimentRunner(runner_options(argc, argv)).run(grid);
+
+  std::vector<std::string> header{"Workload"};
+  for (const std::uint64_t page : pages) header.push_back(format_size(page));
+  header.push_back("w/o migration");
+  TextTable t(std::move(header));
+  std::size_t i = 0;
+  for (const WorkloadInfo& w : workloads) {
+    std::vector<std::string> row{w.name};
+    for (std::size_t p = 0; p < pages.size() + 1; ++p) {
+      const runner::CellResult& c = cells[i++];
+      row.push_back(c.ok ? TextTable::num(c.result.avg_latency)
+                         : "FAILED");
+    }
     t.add_row(std::move(row));
   }
   t.print(std::cout);
+
+  runner::ResultSink sink(bench_id);
+  sink.set_param("interval", interval);
+  sink.set_param("accesses", n);
+  sink.set_param("design", "LiveMigration");
+  report_artifact(sink.write_json(cells));
   return 0;
 }
 

@@ -9,6 +9,8 @@
 // Paper reference row (Table IV):
 //   FT 69.1% | MG 84.3% | pgbench 92.2% | indexer 86.1% | SPECjbb 72.2%
 //   | SPEC2006 99.1%  -> average 83%.
+//
+// The workload x granularity grid runs as one parallel sweep (--jobs N).
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -18,13 +20,18 @@
 
 using namespace hmm;
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint64_t n = bench::scaled(1'500'000);
   // Best-configuration sweep: live migration across granularities at the
   // most aggressive swap interval (the paper's Fig 12 minimum per curve).
-  const std::vector<std::uint64_t> pages = {4 * KiB, 16 * KiB, 64 * KiB,
-                                            256 * KiB, 1 * MiB, 4 * MiB};
+  std::vector<std::uint64_t> pages = {4 * KiB,   16 * KiB, 64 * KiB,
+                                      256 * KiB, 1 * MiB,  4 * MiB};
   const std::uint64_t interval = 1000;
+  std::vector<WorkloadInfo> workloads = section4_workloads();
+  if (bench::smoke(argc, argv)) {
+    pages = {256 * KiB};
+    workloads.resize(1);
+  }
 
   std::printf("Table III parameters: total 4GB, on-package 512MB, macro "
               "pages 4KB-4MB, sub-block 4KB, FR-FCFS, open page\n");
@@ -32,43 +39,63 @@ int main() {
               "(HMM_BENCH_SCALE=%g)\n\n",
               static_cast<unsigned long long>(n), bench::scale());
 
+  // Grid: per workload, the no-migration reference, the unloaded
+  // all-on-package reference (core latency), then the granularity sweep.
+  std::vector<runner::ExperimentSpec> grid;
+  for (const WorkloadInfo& w : workloads) {
+    const std::string wk = "table4/" + w.name;
+    grid.push_back(bench::cell(wk + "/static", wk, w,
+                               bench::static_config(4 * MiB), n));
+    MemSimConfig ideal = bench::static_config(4 * MiB);
+    ideal.force = MemSimConfig::Force::AllOnPackage;
+    grid.push_back(bench::cell(wk + "/all-on", wk, w, ideal, n / 2));
+    for (const std::uint64_t page : pages) {
+      grid.push_back(bench::cell(
+          wk + "/" + format_size(page), wk, w,
+          bench::migration_config(page, MigrationDesign::LiveMigration,
+                                  interval),
+          n));
+    }
+  }
+
+  const std::vector<runner::CellResult> cells =
+      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+
+  runner::ResultSink sink("table4_effectiveness");
+  sink.set_param("interval", interval);
+  sink.set_param("accesses", n);
+
   TextTable t({"Workload", "Core lat", "Lat w/o migration",
                "Best lat w/ migration", "Best page", "Effectiveness"});
   double eta_sum = 0;
   int eta_count = 0;
-
-  for (const WorkloadInfo& w : section4_workloads()) {
-    const RunResult nomig =
-        bench::run(w, bench::static_config(4 * MiB), n);
-
-    // The per-workload "DRAM core latency" row: the unloaded on-package
-    // access time (all-on-package run minus its queueing delay).
-    MemSimConfig ideal = bench::static_config(4 * MiB);
-    ideal.force = MemSimConfig::Force::AllOnPackage;
-    const RunResult allon_run = bench::run(w, ideal, n / 2);
+  std::size_t i = 0;
+  for (const WorkloadInfo& w : workloads) {
+    const runner::CellResult& nomig = cells[i++];
+    const runner::CellResult& allon = cells[i++];
     const double core_latency =
-        allon_run.avg_latency - allon_run.on_queue_delay;
+        allon.result.avg_latency - allon.result.on_queue_delay;
 
     double best = 1e300;
     std::uint64_t best_page = 0;
     for (const std::uint64_t page : pages) {
-      const RunResult r = bench::run(
-          w, bench::migration_config(page, MigrationDesign::LiveMigration,
-                                     interval),
-          n);
-      if (r.avg_latency < best) {
-        best = r.avg_latency;
+      const runner::CellResult& c = cells[i++];
+      if (c.ok && c.result.avg_latency < best) {
+        best = c.result.avg_latency;
         best_page = page;
       }
     }
 
-    const double denom = nomig.avg_latency - core_latency;
+    const double denom = nomig.result.avg_latency - core_latency;
     const double eta =
-        denom > 0 ? (nomig.avg_latency - best) / denom : 0.0;
+        denom > 0 ? (nomig.result.avg_latency - best) / denom : 0.0;
     eta_sum += eta;
     ++eta_count;
+    sink.add_derived("table4/" + w.name + "/" + format_size(best_page),
+                     "effectiveness", eta);
+    sink.add_derived(allon.key, "core_latency", core_latency);
     t.add_row({w.name, TextTable::num(core_latency),
-               TextTable::num(nomig.avg_latency), TextTable::num(best),
+               TextTable::num(nomig.result.avg_latency), TextTable::num(best),
                format_size(best_page), TextTable::pct(eta)});
   }
 
@@ -77,5 +104,6 @@ int main() {
   t.print(std::cout);
   std::printf("\npaper: FT 69.1%% MG 84.3%% pgbench 92.2%% indexer 86.1%% "
               "SPECjbb 72.2%% SPEC2006 99.1%% (avg 83%%)\n");
+  bench::report_artifact(sink.write_json(cells));
   return 0;
 }

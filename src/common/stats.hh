@@ -56,6 +56,13 @@ class Log2Histogram {
     ++total_;
   }
 
+  /// Bucket-wise sum with another histogram (parallel result aggregation:
+  /// per-job histograms combine into one distribution, order-independent).
+  void merge(const Log2Histogram& o) noexcept {
+    for (unsigned i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    total_ += o.total_;
+  }
+
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t bucket(unsigned i) const noexcept {
     return i < kBuckets ? buckets_[i] : 0;

@@ -1,0 +1,147 @@
+// Minimal streaming JSON writer for the sweep result artifacts.
+//
+// Deliberately tiny (no DOM, no parsing): the runner only ever serializes
+// results, and the container must not grow third-party deps. Emits
+// pretty-printed UTF-8 with deterministic number formatting, so two runs
+// that compute identical doubles produce byte-identical files.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmm::runner {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent_width = 2)
+      : os_(os), indent_width_(indent_width) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Emits `"name":` inside an object; follow with a value or container.
+  JsonWriter& key(std::string_view name) {
+    assert(!stack_.empty() && stack_.back().is_object);
+    separate();
+    write_string(name);
+    os_ << ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    separate();
+    write_string(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    separate();
+    os_ << (b ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double d) {
+    separate();
+    char buf[32];
+    // Shortest-ish round-trippable form; deterministic for equal doubles.
+    std::snprintf(buf, sizeof buf, "%.12g", d);
+    os_ << buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool has_items = false;
+  };
+
+  JsonWriter& open(char c) {
+    separate();
+    os_ << c;
+    stack_.push_back({c == '{', false});
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    assert(!stack_.empty());
+    const bool had_items = stack_.back().has_items;
+    stack_.pop_back();
+    if (had_items) {
+      os_ << '\n';
+      write_indent();
+    }
+    os_ << c;
+    if (stack_.empty()) os_ << '\n';
+    return *this;
+  }
+
+  /// Emits the comma/newline/indent owed before the next item.
+  void separate() {
+    if (pending_key_) {  // value directly after "name": — no comma/indent
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back().has_items) os_ << ',';
+    os_ << '\n';
+    stack_.back().has_items = true;
+    write_indent();
+  }
+
+  void write_indent() {
+    for (std::size_t i = 0; i < stack_.size() * indent_width_; ++i) os_ << ' ';
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::size_t indent_width_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace hmm::runner

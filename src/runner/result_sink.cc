@@ -1,0 +1,115 @@
+#include "runner/result_sink.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/stats.hh"
+#include "runner/json.hh"
+
+namespace hmm::runner {
+
+ResultSink::ResultSink(std::string bench) : bench_(std::move(bench)) {}
+
+void ResultSink::set_param(const std::string& name, const std::string& value) {
+  params_.emplace_back(name, value);
+}
+
+void ResultSink::set_param(const std::string& name, std::uint64_t value) {
+  params_.emplace_back(name, std::to_string(value));
+}
+
+void ResultSink::add_derived(const std::string& cell_key,
+                             const std::string& field, double value) {
+  derived_[cell_key][field] = value;
+}
+
+std::string ResultSink::results_dir() {
+  if (const char* e = std::getenv("HMM_RESULTS_DIR")) return e;
+  return "results";
+}
+
+std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
+  const std::string dir = results_dir();
+  if (dir.empty()) return "";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "";
+  const std::string path = dir + "/" + bench_ + ".json";
+  std::ofstream os(path);
+  if (!os) return "";
+
+  // Cross-cell aggregation (exercises the stats merge path): latency and
+  // per-job wall-time summaries over the successful cells.
+  RunningStat lat, wall;
+  std::uint64_t failed = 0;
+  for (const CellResult& c : cells) {
+    RunningStat one;
+    one.add(c.wall_seconds);
+    wall.merge(one);
+    if (!c.ok) {
+      ++failed;
+      continue;
+    }
+    lat.add(c.result.avg_latency);
+  }
+
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("bench", bench_);
+  j.kv("schema_version", 1);
+  j.key("params").begin_object();
+  for (const auto& [k, v] : params_) j.kv(k, v);
+  j.end_object();
+
+  j.key("cells").begin_array();
+  for (const CellResult& c : cells) {
+    j.begin_object();
+    j.kv("key", c.key);
+    j.kv("seed", c.seed);
+    j.kv("ok", c.ok);
+    if (!c.ok) j.kv("error", c.error);
+    j.kv("wall_seconds", c.wall_seconds);  // non-deterministic by nature
+    if (c.ok) {
+      const RunResult& r = c.result;
+      j.key("metrics").begin_object();
+      j.kv("accesses", r.accesses);
+      j.kv("avg_latency", r.avg_latency);
+      j.kv("avg_read_latency", r.avg_read_latency);
+      j.kv("avg_write_latency", r.avg_write_latency);
+      j.kv("p99_latency", r.p99_latency);
+      j.kv("on_package_fraction", r.on_package_fraction);
+      j.kv("off_row_hit_rate", r.off_row_hit_rate);
+      j.kv("swaps", r.swaps);
+      j.kv("migrated_bytes", r.migrated_bytes);
+      j.kv("demand_bytes_on", r.demand_bytes_on);
+      j.kv("demand_bytes_off", r.demand_bytes_off);
+      j.kv("energy_pj", r.energy_pj);
+      j.kv("normalized_power", r.normalized_power());
+      j.end_object();
+    }
+    if (const auto it = derived_.find(c.key); it != derived_.end()) {
+      j.key("derived").begin_object();
+      for (const auto& [field, value] : it->second) j.kv(field, value);
+      j.end_object();
+    }
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("summary").begin_object();
+  j.kv("cells", static_cast<std::uint64_t>(cells.size()));
+  j.kv("failed", failed);
+  if (lat.count() > 0) {
+    j.kv("avg_latency_mean", lat.mean());
+    j.kv("avg_latency_min", lat.min());
+    j.kv("avg_latency_max", lat.max());
+  }
+  j.kv("wall_seconds_total", wall.sum());  // non-deterministic
+  j.end_object();
+  j.end_object();
+  return path;
+}
+
+}  // namespace hmm::runner

@@ -1,0 +1,47 @@
+// ResultSink: machine-readable sweep artifacts next to the ASCII tables.
+//
+// Each converted bench keeps printing its paper table to stdout and, in
+// addition, hands its ordered CellResults to a ResultSink, which writes
+// `<HMM_RESULTS_DIR>/<bench>.json` (default directory: ./results; set
+// HMM_RESULTS_DIR="" to disable). The JSON schema is documented in
+// README.md "Running sweeps"; every metric in it is deterministic for a
+// fixed (grid, base seed) except the wall-time fields.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hh"
+
+namespace hmm::runner {
+
+class ResultSink {
+ public:
+  /// `bench` names the artifact file: "<results_dir>/<bench>.json".
+  explicit ResultSink(std::string bench);
+
+  /// Sweep-level metadata echoed into the JSON "params" object.
+  void set_param(const std::string& name, const std::string& value);
+  void set_param(const std::string& name, std::uint64_t value);
+
+  /// Attaches a derived per-cell metric (e.g. effectiveness η) that the
+  /// bench computed across cells and wants persisted with `cell_key`.
+  void add_derived(const std::string& cell_key, const std::string& field,
+                   double value);
+
+  /// Writes the artifact; returns its path, or "" when disabled/failed.
+  /// Never throws — a bench must still print its table if the disk is
+  /// read-only.
+  std::string write_json(const std::vector<CellResult>& cells) const;
+
+  /// Resolves HMM_RESULTS_DIR (default "results"); "" disables output.
+  [[nodiscard]] static std::string results_dir();
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> params_;  // insert order
+  std::map<std::string, std::map<std::string, double>> derived_;
+};
+
+}  // namespace hmm::runner

@@ -1,0 +1,105 @@
+#include "runner/runner.hh"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "runner/thread_pool.hh"
+
+namespace hmm::runner {
+
+namespace {
+
+[[nodiscard]] unsigned resolve_jobs(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(RunnerOptions opts)
+    : jobs_(resolve_jobs(opts.jobs)),
+      base_seed_(opts.base_seed),
+      observer_(opts.observer) {}
+
+RunResult ExperimentRunner::replay(const ExperimentSpec& spec,
+                                   std::uint64_t seed) {
+  MemSim sim(spec.config);
+  auto gen = spec.workload.make(seed);
+  const auto warm = static_cast<std::uint64_t>(
+      static_cast<double>(spec.accesses) * spec.warmup_fraction);
+  if (warm > 0) {
+    if (spec.instant_warmup) sim.controller().set_instant_migration(true);
+    sim.run(*gen, warm);
+    sim.controller().set_instant_migration(false);
+    sim.reset_stats();
+  }
+  sim.run(*gen, spec.accesses - warm);
+  sim.finish();
+  return sim.result();
+}
+
+CellResult ExperimentRunner::execute(const ExperimentSpec& spec) const {
+  CellResult cell;
+  cell.key = spec.key;
+  cell.seed = derive_seed(base_seed_,
+                          spec.seed_key.empty() ? spec.key : spec.seed_key);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    cell.result = spec.job ? spec.job(cell.seed) : replay(spec, cell.seed);
+    cell.ok = true;
+  } catch (const std::exception& e) {
+    cell.error = e.what();
+  } catch (...) {
+    cell.error = "unknown exception";
+  }
+  cell.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return cell;
+}
+
+std::vector<CellResult> ExperimentRunner::run(
+    const std::vector<ExperimentSpec>& grid) {
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<CellResult> results(grid.size());
+  RunningStat wall;
+  if (observer_) observer_->on_start(grid.size(), jobs_);
+
+  if (jobs_ <= 1 || grid.size() <= 1) {
+    // Inline serial path: the exact pre-runner bench loop.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      results[i] = execute(grid[i]);
+      wall.add(results[i].wall_seconds);
+      if (observer_) observer_->on_cell_done(results[i], i + 1, grid.size());
+    }
+  } else {
+    ThreadPool pool(jobs_);
+    std::mutex done_mu;  // serializes completion bookkeeping + callbacks
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      pool.submit([this, &grid, &results, &wall, &done_mu, &done, i] {
+        CellResult cell = execute(grid[i]);
+        const std::lock_guard<std::mutex> lock(done_mu);
+        wall.add(cell.wall_seconds);
+        results[i] = std::move(cell);
+        ++done;
+        if (observer_) observer_->on_cell_done(results[i], done, grid.size());
+      });
+    }
+    pool.wait_idle();
+  }
+
+  if (observer_) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - sweep_start)
+                               .count();
+    observer_->on_finish(wall, elapsed);
+  }
+  return results;
+}
+
+}  // namespace hmm::runner

@@ -1,0 +1,56 @@
+// ExperimentRunner: executes a declarative sweep grid on a thread pool.
+//
+// Usage:
+//   std::vector<ExperimentSpec> grid = ...;         // cells in print order
+//   ExperimentRunner r({.jobs = bench::jobs()});
+//   std::vector<CellResult> cells = r.run(grid);    // grid order, always
+//
+// Guarantees:
+//  * results come back in grid order regardless of scheduling;
+//  * cell seeds derive from (base_seed, seed key) only, so jobs=1 and
+//    jobs=N produce bit-identical RunResults (wall times aside);
+//  * a throwing job becomes a failed CellResult; the sweep completes;
+//  * jobs=1 runs every cell inline on the calling thread — exactly the
+//    serial loop the benches used before this subsystem existed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/experiment.hh"
+#include "runner/progress.hh"
+
+namespace hmm::runner {
+
+struct RunnerOptions {
+  unsigned jobs = 0;  ///< worker threads; 0 = hardware concurrency, 1 = inline
+  std::uint64_t base_seed = 42;          ///< mixed into every cell seed
+  ProgressObserver* observer = nullptr;  ///< optional; callbacks serialized
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunnerOptions opts = {});
+
+  /// Executes all cells; blocks until the grid is complete.
+  [[nodiscard]] std::vector<CellResult> run(
+      const std::vector<ExperimentSpec>& grid);
+
+  /// The standard cell body: build the workload at `seed`, warm up (instant
+  /// migration fast-forward), measure, return the RunResult. Public so
+  /// custom jobs can wrap it.
+  [[nodiscard]] static RunResult replay(const ExperimentSpec& spec,
+                                        std::uint64_t seed);
+
+  /// Resolved worker count (after the jobs=0 default).
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+ private:
+  [[nodiscard]] CellResult execute(const ExperimentSpec& spec) const;
+
+  unsigned jobs_;
+  std::uint64_t base_seed_;
+  ProgressObserver* observer_;
+};
+
+}  // namespace hmm::runner

@@ -1,0 +1,52 @@
+// Fixed-size worker pool with a shared FIFO queue.
+//
+// Sized for the sweep workload: tens-to-hundreds of coarse jobs (each a
+// full trace replay, milliseconds to seconds), so a single locked queue
+// is plenty — no work stealing needed at this task granularity.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmm::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks should handle their own exceptions; anything
+  /// that escapes is swallowed by the worker so the pool cannot die or
+  /// deadlock mid-sweep.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals workers: task or stop
+  std::condition_variable idle_cv_;  ///< signals wait_idle: all drained
+  std::size_t active_ = 0;           ///< tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace hmm::runner

@@ -179,6 +179,53 @@ TEST(Log2Histogram, ZeroValue) {
   EXPECT_EQ(h.quantile(0.5), 1ull);
 }
 
+TEST(Log2Histogram, MergeMatchesInterleavedAdds) {
+  // Merging per-shard histograms must equal one histogram fed everything —
+  // the property the parallel runner's aggregation relies on.
+  Log2Histogram a, b, reference;
+  for (int i = 0; i < 90; ++i) {
+    a.add(1);
+    reference.add(1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    b.add(1000);
+    reference.add(1000);
+  }
+  b.add(0);
+  reference.add(0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), reference.total());
+  for (unsigned i = 0; i < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), reference.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.quantile(0.5), reference.quantile(0.5));
+  EXPECT_EQ(a.quantile(0.95), reference.quantile(0.95));
+}
+
+TEST(Log2Histogram, MergeWithEmptyIsIdentity) {
+  Log2Histogram a, empty;
+  a.add(7);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 1u);
+  EXPECT_EQ(empty.quantile(0.5), 4ull);  // 7 lands in the 4..8 bucket
+}
+
+TEST(RunningStat, MergeWithEmptyKeepsMinMax) {
+  RunningStat a, empty;
+  a.add(-2.0);
+  a.add(9.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), -2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 9.0);
+}
+
 TEST(TextTable, FormatsAlignedColumns) {
   TextTable t({"a", "long-header"});
   t.add_row({"x", "1"});

@@ -162,7 +162,7 @@ TEST(Controller, FillForwardsCounted) {
   // Now hammer page 21 without pumping to idle: the fill progresses as
   // simulated time advances and early sub-blocks serve from the slot.
   for (int i = 0; i < 20000; ++i) {
-    rig.ctl.on_access(21 * kPage, AccessType::Read, now += 20);
+    (void)rig.ctl.on_access(21 * kPage, AccessType::Read, now += 20);
     rig.on.drain_until(now);
     rig.off.drain_until(now);
     for (const auto& c : rig.on.take_completions())

@@ -102,7 +102,7 @@ TEST(DramChannel, FrFcfsPrefersRowHit) {
   warm.arrival = 0;
   ch.submit(warm);
   ch.drain_all(0);
-  ch.take_completions();
+  (void)ch.take_completions();
 
   // Conflict request arrives first, row hit second; FR-FCFS serves the
   // hit first.
@@ -130,7 +130,7 @@ TEST(DramChannel, FcfsServesInOrder) {
   warm.arrival = 0;
   ch.submit(warm);
   ch.drain_all(0);
-  ch.take_completions();
+  (void)ch.take_completions();
 
   DramRequest miss;
   miss.addr = 1ull << 22;
@@ -155,7 +155,7 @@ TEST(DramChannel, StarvationControlBoundsBypass) {
   warm.arrival = 0;
   ch.submit(warm);
   ch.drain_all(0);
-  ch.take_completions();
+  (void)ch.take_completions();
 
   // One conflict request plus a long run of row hits arriving later; the
   // conflict must still be served within the starvation window.
@@ -257,8 +257,8 @@ TEST(DramSystem, ManyBanksQueueLessThanFewBanks) {
     now += 30;
     off.drain_until(now);
     on.drain_until(now);
-    off.take_completions();
-    on.take_completions();
+    (void)off.take_completions();
+    (void)on.take_completions();
   }
   EXPECT_LT(on.mean_queue_delay(), off.mean_queue_delay());
 }
@@ -272,7 +272,7 @@ TEST(DramSystem, StatsResetClearsCounters) {
   DramSystem sys = DramSystem::make(Region::OffPackage);
   sys.submit(0, 64, AccessType::Read, Priority::Demand, 0);
   sys.drain_all(0);
-  sys.take_completions();
+  (void)sys.take_completions();
   EXPECT_GT(sys.demand_bytes(), 0u);
   sys.reset_stats();
   EXPECT_EQ(sys.demand_bytes(), 0u);

@@ -51,7 +51,9 @@ TEST(Overhead, GrowsMonotonicallyAsPagesShrink) {
   for (std::uint64_t page = 4 * MiB; page >= 4 * KiB; page /= 2) {
     const std::uint64_t total =
         migration_hardware_overhead(1 * GiB, page).total();
-    if (prev != 0) EXPECT_GT(total, prev);
+    if (prev != 0) {
+      EXPECT_GT(total, prev);
+    }
     prev = total;
   }
   // ~1E7 bits at 4KB, as Fig 10 shows.

@@ -1,0 +1,270 @@
+// Runner subsystem tests: the determinism contract (jobs=1 == jobs=8,
+// bit-identical), failure isolation (a throwing job becomes a failed cell,
+// the pool survives), seed derivation, the thread pool, and the JSON
+// writer's output format.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/units.hh"
+#include "runner/json.hh"
+#include "runner/runner.hh"
+#include "runner/thread_pool.hh"
+#include "trace/workloads.hh"
+
+namespace hmm::runner {
+namespace {
+
+// --- seed derivation --------------------------------------------------------
+
+TEST(DeriveSeed, DependsOnlyOnBaseSeedAndKey) {
+  EXPECT_EQ(derive_seed(42, "fig13/FT/64KB"), derive_seed(42, "fig13/FT/64KB"));
+  EXPECT_NE(derive_seed(42, "fig13/FT/64KB"), derive_seed(42, "fig13/FT/4KB"));
+  EXPECT_NE(derive_seed(42, "fig13/FT/64KB"), derive_seed(43, "fig13/FT/64KB"));
+  EXPECT_NE(derive_seed(0, ""), derive_seed(1, ""));
+}
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.wait_idle();  // idle pool: returns immediately
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, SurvivesThrowingTask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("escaped"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+// --- runner determinism -----------------------------------------------------
+
+// A 3x3 grid (3 pages x 3 swap intervals) over a scaled-down Section IV
+// geometry; small trace so the whole matrix replays twice in seconds.
+[[nodiscard]] std::vector<ExperimentSpec> small_grid() {
+  WorkloadInfo w{"pgbench", "", 0, make_pgbench};
+  std::vector<ExperimentSpec> grid;
+  for (const std::uint64_t page : {64 * KiB, 256 * KiB, 1 * MiB}) {
+    for (const std::uint64_t interval : {500ull, 1000ull, 4000ull}) {
+      ExperimentSpec s;
+      s.key = "test/" + format_size(page) + "/i" + std::to_string(interval);
+      s.seed_key = "test/pgbench";
+      s.workload = w;
+      s.config.controller.geom = Geometry{4 * GiB, 512 * MiB, page, 4 * KiB};
+      s.config.controller.design = MigrationDesign::LiveMigration;
+      s.config.controller.migration_enabled = true;
+      s.config.controller.swap_interval = interval;
+      s.accesses = 6000;
+      grid.push_back(std::move(s));
+    }
+  }
+  return grid;
+}
+
+void expect_bit_identical(const CellResult& a, const CellResult& b) {
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.ok, b.ok);
+  const RunResult &ra = a.result, &rb = b.result;
+  EXPECT_EQ(ra.accesses, rb.accesses);
+  EXPECT_EQ(ra.avg_latency, rb.avg_latency);  // exact: same FP computation
+  EXPECT_EQ(ra.avg_read_latency, rb.avg_read_latency);
+  EXPECT_EQ(ra.avg_write_latency, rb.avg_write_latency);
+  EXPECT_EQ(ra.p99_latency, rb.p99_latency);
+  EXPECT_EQ(ra.on_package_fraction, rb.on_package_fraction);
+  EXPECT_EQ(ra.swaps, rb.swaps);
+  EXPECT_EQ(ra.migrated_bytes, rb.migrated_bytes);
+  EXPECT_EQ(ra.demand_bytes_on, rb.demand_bytes_on);
+  EXPECT_EQ(ra.demand_bytes_off, rb.demand_bytes_off);
+  EXPECT_EQ(ra.energy_pj, rb.energy_pj);
+  EXPECT_EQ(ra.end_time, rb.end_time);
+}
+
+TEST(ExperimentRunner, SerialAndParallelAreBitIdentical) {
+  const std::vector<ExperimentSpec> grid = small_grid();
+  ExperimentRunner serial({.jobs = 1});
+  ExperimentRunner parallel({.jobs = 8});
+  const std::vector<CellResult> a = serial.run(grid);
+  const std::vector<CellResult> b = parallel.run(grid);
+  ASSERT_EQ(a.size(), grid.size());
+  ASSERT_EQ(b.size(), grid.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(grid[i].key);
+    EXPECT_TRUE(a[i].ok) << a[i].error;
+    expect_bit_identical(a[i], b[i]);
+  }
+  // Cells sharing a seed_key replay one stream; distinct configs still
+  // produce distinct dynamics.
+  EXPECT_EQ(a[0].seed, a[1].seed);
+  EXPECT_NE(a[0].result.swaps, a[2].result.swaps);
+}
+
+TEST(ExperimentRunner, ResultsComeBackInGridOrder) {
+  std::vector<ExperimentSpec> grid(16);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].key = "cell" + std::to_string(i);
+    grid[i].job = [i](std::uint64_t) {
+      // Reverse-staggered sleeps force out-of-order completion.
+      std::this_thread::sleep_for(std::chrono::milliseconds(16 - i));
+      RunResult r;
+      r.accesses = i;
+      return r;
+    };
+  }
+  const std::vector<CellResult> out = ExperimentRunner({.jobs = 8}).run(grid);
+  ASSERT_EQ(out.size(), grid.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, grid[i].key);
+    EXPECT_EQ(out[i].result.accesses, i);
+  }
+}
+
+TEST(ExperimentRunner, ThrowingJobIsAFailedCellNotADeadlock) {
+  std::vector<ExperimentSpec> grid(6);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].key = "cell" + std::to_string(i);
+    if (i == 3) {
+      grid[i].job = [](std::uint64_t) -> RunResult {
+        throw std::runtime_error("boom");
+      };
+    } else {
+      grid[i].job = [](std::uint64_t) { return RunResult{}; };
+    }
+  }
+  const std::vector<CellResult> out = ExperimentRunner({.jobs = 4}).run(grid);
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(out[i].ok);
+      EXPECT_EQ(out[i].error, "boom");
+    } else {
+      EXPECT_TRUE(out[i].ok);
+    }
+  }
+}
+
+TEST(ExperimentRunner, Jobs1RunsInlineOnTheCallingThread) {
+  std::vector<ExperimentSpec> grid(2);
+  std::vector<std::thread::id> ran_on;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].key = "cell" + std::to_string(i);
+    grid[i].job = [&ran_on](std::uint64_t) {
+      ran_on.push_back(std::this_thread::get_id());
+      return RunResult{};
+    };
+  }
+  (void)ExperimentRunner({.jobs = 1}).run(grid);
+  ASSERT_EQ(ran_on.size(), 2u);
+  EXPECT_EQ(ran_on[0], std::this_thread::get_id());
+  EXPECT_EQ(ran_on[1], std::this_thread::get_id());
+}
+
+TEST(ExperimentRunner, ObserverSeesEveryCellAndTheSummary) {
+  struct Recorder : ProgressObserver {
+    std::size_t started = 0, cells = 0;
+    double elapsed = -1;
+    std::uint64_t wall_count = 0;
+    void on_start(std::size_t total, unsigned) override { started = total; }
+    void on_cell_done(const CellResult&, std::size_t, std::size_t) override {
+      ++cells;
+    }
+    void on_finish(const RunningStat& wall, double e) override {
+      wall_count = wall.count();
+      elapsed = e;
+    }
+  } rec;
+  std::vector<ExperimentSpec> grid(5);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].key = "cell" + std::to_string(i);
+    grid[i].job = [](std::uint64_t) { return RunResult{}; };
+  }
+  (void)ExperimentRunner({.jobs = 3, .base_seed = 42, .observer = &rec})
+      .run(grid);
+  EXPECT_EQ(rec.started, 5u);
+  EXPECT_EQ(rec.cells, 5u);
+  EXPECT_EQ(rec.wall_count, 5u);
+  EXPECT_GE(rec.elapsed, 0.0);
+}
+
+// --- JSON writer ------------------------------------------------------------
+
+TEST(JsonWriter, EmitsWellFormedNestedDocument) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("name", "fig13");
+  j.kv("cells", std::uint64_t{2});
+  j.key("metrics").begin_object();
+  j.kv("avg_latency", 123.25);
+  j.kv("ok", true);
+  j.end_object();
+  j.key("tags").begin_array();
+  j.value("a\"b");
+  j.value(std::uint64_t{7});
+  j.end_array();
+  j.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"name\": \"fig13\",\n"
+            "  \"cells\": 2,\n"
+            "  \"metrics\": {\n"
+            "    \"avg_latency\": 123.25,\n"
+            "    \"ok\": true\n"
+            "  },\n"
+            "  \"tags\": [\n"
+            "    \"a\\\"b\",\n"
+            "    7\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_array();
+  j.value("line\nbreak\ttab\x01");
+  j.end_array();
+  EXPECT_NE(os.str().find("line\\nbreak\\ttab\\u0001"), std::string::npos);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter j(os);
+  j.begin_object();
+  j.key("empty_obj").begin_object().end_object();
+  j.key("empty_arr").begin_array().end_array();
+  j.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"empty_obj\": {},\n"
+            "  \"empty_arr\": []\n"
+            "}\n");
+}
+
+}  // namespace
+}  // namespace hmm::runner
