@@ -11,6 +11,13 @@
 //                          configs (the bench_smoke ctest path)
 //   HMM_RESULTS_DIR        where sweep JSON artifacts land (default
 //                          ./results; "" disables them)
+//   --keep-going / HMM_KEEP_GOING   exit 0 even when sweep cells failed
+//   --fault-rate R         per-opportunity fault probability (resilience
+//                          benches; 0 disables injection)
+//   --fault-sites a,b      comma list of site names (default: every site
+//                          the bench exercises)
+//   --audit-interval N     full invariant audit every N accesses
+//   HMM_CELL_TIMEOUT       per-cell wall-clock deadline in seconds
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/params.hh"
 #include "runner/progress.hh"
@@ -91,6 +99,97 @@ namespace hmm::bench {
 /// sink is disabled or the write failed).
 inline void report_artifact(const std::string& path) {
   if (!path.empty()) std::cerr << "[runner] wrote " << path << "\n";
+}
+
+/// Generic `--name VALUE` / `--name=VALUE` lookup.
+[[nodiscard]] inline const char* option_value(int argc, char** argv,
+                                              const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, name, len) != 0) continue;
+    if (a[len] == '=') return a + len + 1;
+    if (a[len] == '\0' && i + 1 < argc) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// `--keep-going` / HMM_KEEP_GOING: report failed cells but exit 0.
+[[nodiscard]] inline bool keep_going(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--keep-going") == 0) return true;
+  }
+  if (const char* e = std::getenv("HMM_KEEP_GOING"))
+    return e[0] != '\0' && e[0] != '0';
+  return false;
+}
+
+/// `--fault-rate R`: per-opportunity fault probability (default `fallback`).
+[[nodiscard]] inline double fault_rate(int argc, char** argv,
+                                       double fallback = 0.0) {
+  if (const char* v = option_value(argc, argv, "--fault-rate")) {
+    const double r = std::strtod(v, nullptr);
+    if (r >= 0) return r;
+  }
+  return fallback;
+}
+
+/// `--audit-interval N`: accesses between full invariant audits.
+[[nodiscard]] inline std::uint64_t audit_interval(int argc, char** argv,
+                                                  std::uint64_t fallback) {
+  if (const char* v = option_value(argc, argv, "--audit-interval")) {
+    const long long n = std::strtoll(v, nullptr, 10);
+    if (n >= 0) return static_cast<std::uint64_t>(n);
+  }
+  return fallback;
+}
+
+/// `--fault-sites a,b,c`: subset of injection sites (names as printed by
+/// fault::to_string). Unknown names abort with a usage message; no flag
+/// returns `fallback`.
+[[nodiscard]] inline std::vector<fault::FaultSite> fault_sites(
+    int argc, char** argv, std::vector<fault::FaultSite> fallback) {
+  const char* v = option_value(argc, argv, "--fault-sites");
+  if (v == nullptr) return fallback;
+  std::vector<fault::FaultSite> sites;
+  std::string list(v);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string name = list.substr(start, comma - start);
+    if (!name.empty()) {
+      fault::FaultSite s;
+      if (!fault::site_from_name(name, s)) {
+        std::cerr << "unknown fault site '" << name
+                  << "' (see --help in README: chunk-drop, chunk-delay, "
+                     "swap-abort, channel-stall, table-bit-flip, "
+                     "hotness-corrupt)\n";
+        std::exit(2);
+      }
+      sites.push_back(s);
+    }
+    start = comma + 1;
+  }
+  return sites;
+}
+
+/// Standard sweep epilogue: reports every failed cell on stderr (the JSON
+/// artifact already carries status/error per cell) and returns the bench's
+/// exit code — non-zero when any cell failed, unless --keep-going.
+[[nodiscard]] inline int finish(const std::vector<runner::CellResult>& cells,
+                                int argc, char** argv) {
+  std::uint64_t failed = 0;
+  for (const auto& c : cells) {
+    if (c.ok) continue;
+    ++failed;
+    std::cerr << "[runner] FAILED " << c.key << " (" << c.status
+              << "): " << c.error << "\n";
+  }
+  if (failed == 0) return 0;
+  std::cerr << "[runner] " << failed << "/" << cells.size()
+            << " cells failed\n";
+  return keep_going(argc, argv) ? 0 : 1;
 }
 
 /// Section IV geometry with the given macro-page size and on-package size.

@@ -83,14 +83,23 @@ int main(int argc, char** argv) {
     return c.ok ? TextTable::num(c.result.avg_latency) : std::string("FAILED");
   };
 
+  // Guide lines keep the historical %.1f rendering on success so existing
+  // output stays bit-identical; a failed guide cell prints FAILED.
+  auto guide = [](const runner::CellResult& c) {
+    if (!c.ok) return std::string("FAILED");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", c.result.avg_latency);
+    return std::string(buf);
+  };
+
   std::size_t i = 0;
   for (const WorkloadInfo& w : workloads) {
     const runner::CellResult& all_off = cells[i++];
     const runner::CellResult& all_on = cells[i++];
     const runner::CellResult& nomig = cells[i++];
-    std::printf("== %s  (all-off %.1f | all-on %.1f | w/o migration %.1f)\n",
-                w.name.c_str(), all_off.result.avg_latency,
-                all_on.result.avg_latency, nomig.result.avg_latency);
+    std::printf("== %s  (all-off %s | all-on %s | w/o migration %s)\n",
+                w.name.c_str(), guide(all_off).c_str(), guide(all_on).c_str(),
+                guide(nomig).c_str());
 
     for (const std::uint64_t interval : intervals) {
       TextTable t({"page", "N", "N-1", "Live"});
@@ -111,5 +120,5 @@ int main(int argc, char** argv) {
   runner::ResultSink sink("fig11_swap_algorithms");
   sink.set_param("accesses", n);
   bench::report_artifact(sink.write_json(cells));
-  return 0;
+  return bench::finish(cells, argc, argv);
 }

@@ -69,13 +69,16 @@ int main(int argc, char** argv) {
       const runner::CellResult& nomig = cells[i++];
       const double core =
           allon.result.avg_latency - allon.result.on_queue_delay;
-      sink.add_derived(allon.key, "core_latency", core);
-      t.add_row({w.name, format_size(cap), TextTable::num(core),
-                 TextTable::num(mig.result.avg_latency),
-                 TextTable::num(nomig.result.avg_latency)});
+      if (allon.ok) sink.add_derived(allon.key, "core_latency", core);
+      auto lat = [](const runner::CellResult& c, double v) {
+        return c.ok ? TextTable::num(v) : std::string("FAILED");
+      };
+      t.add_row({w.name, format_size(cap), lat(allon, core),
+                 lat(mig, mig.result.avg_latency),
+                 lat(nomig, nomig.result.avg_latency)});
     }
   }
   t.print(std::cout);
   bench::report_artifact(sink.write_json(cells));
-  return 0;
+  return bench::finish(cells, argc, argv);
 }

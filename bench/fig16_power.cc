@@ -63,7 +63,12 @@ int main(int argc, char** argv) {
     for (const std::uint64_t page : pages) {
       std::vector<std::string> row{w.name, format_size(page)};
       for (std::size_t k = 0; k < intervals.size(); ++k) {
-        const double ratio = cells[i++].result.normalized_power();
+        const runner::CellResult& c = cells[i++];
+        if (!c.ok) {
+          row.push_back("FAILED");
+          continue;
+        }
+        const double ratio = c.result.normalized_power();
         min_ratio = std::min(min_ratio, ratio);
         row.push_back(TextTable::num(ratio, 2) + "x");
       }
@@ -77,5 +82,5 @@ int main(int argc, char** argv) {
   sink.set_param("accesses", n);
   sink.set_param("design", "LiveMigration");
   bench::report_artifact(sink.write_json(cells));
-  return 0;
+  return bench::finish(cells, argc, argv);
 }

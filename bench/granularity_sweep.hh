@@ -67,7 +67,7 @@ inline int run_granularity_sweep(int argc, char** argv, std::uint64_t interval,
   sink.set_param("accesses", n);
   sink.set_param("design", "LiveMigration");
   report_artifact(sink.write_json(cells));
-  return 0;
+  return finish(cells, argc, argv);
 }
 
 }  // namespace hmm::bench

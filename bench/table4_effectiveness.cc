@@ -86,6 +86,17 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!nomig.ok || !allon.ok || best_page == 0) {
+      // A failed reference (or a fully failed sweep) leaves no comparison
+      // to make; the JSON artifact carries the per-cell errors.
+      t.add_row({w.name, allon.ok ? TextTable::num(core_latency) : "FAILED",
+                 nomig.ok ? TextTable::num(nomig.result.avg_latency)
+                          : "FAILED",
+                 best_page != 0 ? TextTable::num(best) : "FAILED",
+                 best_page != 0 ? format_size(best_page) : "-", "-"});
+      continue;
+    }
+
     const double denom = nomig.result.avg_latency - core_latency;
     const double eta =
         denom > 0 ? (nomig.result.avg_latency - best) / denom : 0.0;
@@ -100,10 +111,10 @@ int main(int argc, char** argv) {
   }
 
   t.add_row({"average", "", "", "", "",
-             TextTable::pct(eta_sum / eta_count)});
+             eta_count > 0 ? TextTable::pct(eta_sum / eta_count) : "-"});
   t.print(std::cout);
   std::printf("\npaper: FT 69.1%% MG 84.3%% pgbench 92.2%% indexer 86.1%% "
               "SPECjbb 72.2%% SPEC2006 99.1%% (avg 83%%)\n");
   bench::report_artifact(sink.write_json(cells));
-  return 0;
+  return bench::finish(cells, argc, argv);
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Sanitizer pass over the robustness suite: build the tree with
+# HMM_SANITIZE=ON (address+undefined) and run every `resilience`-labeled
+# test plus the bench smoke runs, so the injected-fault paths — abort
+# rollback, wedge/watchdog, audit throws, runner retry — are ASan/UBSan
+# clean, not just green.
+#
+# Usage: scripts/check_resilience.sh [build-dir]   (default: build-san)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-san}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DHMM_SANITIZE=ON >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -L 'resilience|bench_smoke' -j "$JOBS" \
+      --output-on-failure

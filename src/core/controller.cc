@@ -35,10 +35,19 @@ HeteroMemoryController::Decision HeteroMemoryController::on_access(
   } else {
     ++stats_.off_package_hits;
     if (cfg_.migration_enabled) {
+      PageId tracked = p;
+      if (injector_ != nullptr &&
+          injector_->fires(fault::FaultSite::HotnessCorrupt, p)) {
+        // A corrupted hotness counter credits the access to the wrong
+        // page. This must stay benign: at worst a suboptimal swap, which
+        // can_swap() then screens for validity.
+        tracked = static_cast<PageId>(
+            injector_->payload_rng().bounded64(g.total_pages()));
+      }
       if (cfg_.oracle_hotness)
-        oracle_.record_access(p, sb);
+        oracle_.record_access(tracked, sb);
       else
-        mq_.record_access(p, sb);
+        mq_.record_access(tracked, sb);
     }
   }
 
@@ -111,6 +120,12 @@ void HeteroMemoryController::consider_swap(Cycle now) {
 void HeteroMemoryController::on_completion(const DramCompletion& c,
                                            Region from) {
   if (c.priority == Priority::Background) engine_.on_completion(c, from);
+}
+
+std::string HeteroMemoryController::audit() const {
+  std::string err = mq_.validate();
+  if (!err.empty()) return "multi-queue tracker: " + err;
+  return {};
 }
 
 }  // namespace hmm

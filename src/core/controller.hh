@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "common/params.hh"
 #include "common/types.hh"
@@ -87,6 +88,18 @@ class HeteroMemoryController {
 
   /// Warm-up fast-forward (see MigrationEngine::set_instant).
   void set_instant_migration(bool on) noexcept { engine_.set_instant(on); }
+
+  /// Attach a fault injector to this controller and its engine (nullptr
+  /// detaches). Not owned. The controller's own site is HotnessCorrupt:
+  /// an off-package access gets recorded against a scrambled page id.
+  void set_fault_injector(fault::FaultInjector* inj) noexcept {
+    injector_ = inj;
+    engine_.set_fault_injector(inj);
+  }
+
+  /// Cross-layer invariant audit (hotness trackers; the table has its own
+  /// validate()); returns an error description or empty string.
+  [[nodiscard]] std::string audit() const;
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ControllerConfig& config() const noexcept { return cfg_; }
 
@@ -102,6 +115,7 @@ class HeteroMemoryController {
   Stats stats_;
   std::uint64_t since_epoch_ = 0;
   Cycle pending_os_stall_ = 0;
+  fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace hmm

@@ -1,13 +1,14 @@
 #include "core/hotness.hh"
 
 #include <algorithm>
-#include <cassert>
+
+#include "fault/sim_error.hh"
 
 namespace hmm {
 
 SlotClockTracker::SlotClockTracker(SlotId slots)
     : ref_(slots, 0), counts_(slots, 0) {
-  assert(slots > 0);
+  HMM_CHECK(slots > 0, "clock tracker needs at least one slot");
 }
 
 void SlotClockTracker::record_access(SlotId s) noexcept {
@@ -22,7 +23,8 @@ void SlotClockTracker::reset_epoch() noexcept {
 MultiQueueTracker::MultiQueueTracker(unsigned levels,
                                      unsigned entries_per_level)
     : levels_(levels), capacity_(entries_per_level), queues_(levels) {
-  assert(levels > 0 && entries_per_level > 0);
+  HMM_CHECK(levels > 0 && entries_per_level > 0,
+            "multi-queue tracker needs at least one level and entry");
   for (auto& q : queues_) q.reserve(entries_per_level);
 }
 
@@ -66,12 +68,12 @@ void MultiQueueTracker::promote_if_due(unsigned level,
   insert(level + 1, e);
 }
 
-void MultiQueueTracker::record_access(PageId p, std::uint32_t sb) noexcept {
+void MultiQueueTracker::record_access(PageId p, std::uint32_t sb) {
   const auto it = index_.find(p);
   if (it != index_.end()) {
     const Pos pos = it->second;
     Entry& e = queues_[pos.level][pos.idx];
-    assert(e.page == p);
+    HMM_CHECK(e.page == p, "multi-queue index out of sync with its queue");
     ++e.count;
     e.last_sub_block = sb;
     promote_if_due(pos.level, pos.idx);
@@ -120,6 +122,26 @@ void MultiQueueTracker::erase(PageId p) noexcept {
 
 std::uint64_t MultiQueueTracker::bits(unsigned page_id_bits) const noexcept {
   return static_cast<std::uint64_t>(levels_) * capacity_ * page_id_bits;
+}
+
+std::string MultiQueueTracker::validate() const {
+  std::size_t entries = 0;
+  for (unsigned l = 0; l < levels_; ++l) {
+    const auto& q = queues_[l];
+    if (q.size() > capacity_) return "queue level above capacity";
+    entries += q.size();
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const Entry& e = q[i];
+      if (e.page == kInvalidPage) return "invalid page id tracked";
+      if (e.count == 0) return "tracked entry with zero count";
+      const auto it = index_.find(e.page);
+      if (it == index_.end()) return "queued page missing from index";
+      if (it->second.level != l || it->second.idx != i)
+        return "index position out of sync with its queue";
+    }
+  }
+  if (entries != index_.size()) return "index size disagrees with queues";
+  return {};
 }
 
 }  // namespace hmm

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -68,8 +69,9 @@ class MultiQueueTracker {
   MultiQueueTracker(unsigned levels, unsigned entries_per_level);
 
   /// Record an access to off-package page p at in-page sub-block `sb`
-  /// (the sub-block seeds critical-data-first live migration).
-  void record_access(PageId p, std::uint32_t sb) noexcept;
+  /// (the sub-block seeds critical-data-first live migration). Throws
+  /// SimError if the index has drifted out of sync with its queues.
+  void record_access(PageId p, std::uint32_t sb);
 
   struct Hottest {
     PageId page = kInvalidPage;
@@ -91,6 +93,10 @@ class MultiQueueTracker {
   /// Hardware cost: one page id per entry (Section III-B sizes this at
   /// 3 x 10 x 26 bits for the 4MB/1GB configuration).
   [[nodiscard]] std::uint64_t bits(unsigned page_id_bits) const noexcept;
+
+  /// Structural self-check (index/queue consistency) for the invariant
+  /// auditor; returns an error description or empty string.
+  [[nodiscard]] std::string validate() const;
 
  private:
   struct Entry {

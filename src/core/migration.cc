@@ -1,7 +1,8 @@
 #include "core/migration.hh"
 
 #include <algorithm>
-#include <cassert>
+
+#include "fault/sim_error.hh"
 
 namespace hmm {
 
@@ -30,8 +31,9 @@ MigrationEngine::MigrationEngine(TranslationTable& table,
                                  DramSystem& on_package,
                                  DramSystem& off_package, const Config& cfg)
     : table_(table), on_(on_package), off_(off_package), cfg_(cfg) {
-  assert((cfg.design == MigrationDesign::N) ==
-         (table.mode() == TableMode::FunctionalN));
+  HMM_CHECK((cfg.design == MigrationDesign::N) ==
+                (table.mode() == TableMode::FunctionalN),
+            "migration design and table mode disagree");
 }
 
 std::uint64_t MigrationEngine::chunk_size() const noexcept {
@@ -46,7 +48,7 @@ std::uint64_t MigrationEngine::chunk_size() const noexcept {
 }
 
 bool MigrationEngine::can_swap(PageId hot, SlotId cold_slot) const noexcept {
-  if (!idle()) return false;
+  if (!idle() || degraded_ || wedged_) return false;
   const Geometry& g = table_.geometry();
   if (hot >= g.total_pages() || hot == g.omega()) return false;
   if (cold_slot >= g.slots()) return false;
@@ -141,7 +143,8 @@ std::vector<CopyStep> MigrationEngine::plan_swap(
     // partner page e' and its data lives at e's off-package home.
     const auto hslot = static_cast<SlotId>(hot);
     const PageId partner = table_.occupant(hslot);
-    assert(partner != kInvalidPage && partner >= n);
+    HMM_CHECK(partner != kInvalidPage && partner >= n,
+              "Fig 8(c)/(d) swap planned without a Migrated Fast partner");
     const SlotId e = *table_.empty_slot();
     const PageId ghost = e;
     CopyStep s1;  // partner moves from the hot page's slot to the empty slot
@@ -199,7 +202,7 @@ bool MigrationEngine::start_swap(PageId hot, std::uint32_t hot_sub_block,
                                  SlotId cold_slot, Cycle now) {
   if (!can_swap(hot, cold_slot)) return false;
   steps_ = plan_swap(hot, hot_sub_block, cold_slot);
-  assert(!steps_.empty());
+  HMM_CHECK(!steps_.empty(), "swap planned with no copy steps");
   ++stats_.swaps_started;
   swap_began_ = now;
   if (instant_) {
@@ -226,6 +229,7 @@ void MigrationEngine::begin_step(Cycle at) {
   next_chunk_ = 0;
   chunks_completed_ = 0;
   first_chunk_ = 0;
+  retry_count_.clear();
   if (st.live_fill) {
     const Geometry& g = table_.geometry();
     table_.begin_fill(st.fill_slot, st.fill_page, st.fill_old_base);
@@ -267,6 +271,31 @@ void MigrationEngine::on_completion(const DramCompletion& c, Region from) {
   const InFlightChunk fc = it->second;
   inflight_.erase(it);
 
+  if (injector_ != nullptr && injector_->enabled()) {
+    using fault::FaultSite;
+    if (injector_->fires(FaultSite::SwapAbort, fc.chunk)) {
+      // The whole swap fails mid-flight. The basic N design has no
+      // recovery choreography, so it wedges; N-1/Live roll back to the
+      // last completed step boundary (always a valid table state).
+      if (cfg_.design == MigrationDesign::N)
+        wedge();
+      else
+        abort_swap(c.finish);
+      return;
+    }
+    if (injector_->fires(FaultSite::MigrationChunkDrop, fc.chunk)) {
+      ++stats_.chunks_dropped;
+      handle_chunk_failure(fc, c.finish);
+      return;
+    }
+    if (injector_->fires(FaultSite::MigrationChunkDelay, fc.chunk)) {
+      // Transient: the chunk must be re-streamed, but costs no retry budget.
+      ++stats_.chunks_delayed;
+      resubmit(fc, c.finish + injector_->plan().delay_cycles);
+      return;
+    }
+  }
+
   if (!fc.write_phase) {
     submit_write(fc.chunk, c.finish);
     return;
@@ -294,6 +323,69 @@ void MigrationEngine::on_completion(const DramCompletion& c, Region from) {
   } else if (chunks_completed_ == chunks_total_ && inflight_.empty()) {
     finish_step(c.finish);
   }
+}
+
+void MigrationEngine::resubmit(const InFlightChunk& fc, Cycle at) {
+  if (fc.write_phase)
+    submit_write(fc.chunk, at);
+  else
+    submit_read(fc.chunk, at);
+}
+
+void MigrationEngine::handle_chunk_failure(const InFlightChunk& fc, Cycle at) {
+  const std::uint64_t k = (fc.chunk << 1) | (fc.write_phase ? 1u : 0u);
+  const unsigned tries = ++retry_count_[k];
+  if (tries <= cfg_.max_chunk_retries) {
+    ++stats_.chunk_retries;
+    const Cycle backoff = cfg_.retry_backoff << (tries - 1);
+    resubmit(fc, at + backoff);
+    return;
+  }
+  // Retry budget exhausted.
+  if (cfg_.design == MigrationDesign::N)
+    wedge();
+  else
+    abort_swap(at);
+}
+
+void MigrationEngine::abort_swap(Cycle at) {
+  // Table mutations only ever apply at step completions, so the current
+  // table state *is* the last step boundary — a valid Fig-8 state where
+  // every page still has exactly one data home. Rolling back is therefore
+  // just discarding the unfinished remainder of the plan. A pending bit
+  // left set keeps routing its row's left page to Ω, which is where that
+  // page's data genuinely still lives — it must NOT be cleared here.
+  if (table_.fill_active()) table_.end_fill();
+  steps_.clear();
+  inflight_.clear();
+  retry_count_.clear();
+  ++stats_.swaps_aborted;
+  stats_.busy_cycles += at - swap_began_;
+  ++consecutive_aborts_;
+  // Aborting after the hot page claimed the empty slot permanently consumes
+  // it; without an empty slot the N-1 choreography cannot start, so the
+  // engine degrades immediately. Otherwise degrade only after K consecutive
+  // failures (transient storms should not end migration for good).
+  const bool slot_lost = table_.mode() == TableMode::HardwareNMinus1 &&
+                         !table_.empty_slot().has_value();
+  if (slot_lost || consecutive_aborts_ >= cfg_.degrade_after_aborts)
+    enter_degraded(at);
+}
+
+void MigrationEngine::wedge() {
+  // Keep steps_ populated: idle() stays false forever, demand traffic in
+  // the stalled N design can never resume, and the MemSim watchdog reports
+  // the wedge as a structured SimError instead of spinning.
+  wedged_ = true;
+  ++stats_.swaps_wedged;
+  inflight_.clear();
+  retry_count_.clear();
+}
+
+void MigrationEngine::enter_degraded(Cycle at) {
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_at_ = at;
 }
 
 void MigrationEngine::apply(const TableMutation& m) {
@@ -327,6 +419,7 @@ void MigrationEngine::finish_step(Cycle at) {
   }
   ++stats_.swaps_completed;
   stats_.busy_cycles += at - swap_began_;
+  consecutive_aborts_ = 0;
 }
 
 }  // namespace hmm

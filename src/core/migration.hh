@@ -29,6 +29,7 @@
 #include "common/types.hh"
 #include "core/translation_table.hh"
 #include "dram/dram_system.hh"
+#include "fault/fault_injector.hh"
 
 namespace hmm {
 
@@ -82,6 +83,13 @@ class MigrationEngine {
     /// the copy runs at the slower channel's full rate (the paper's
     /// 374us-per-4MB figure assumes exactly that).
     unsigned copy_window = 4;
+    /// Recovery policy under fault injection: a failed chunk is re-streamed
+    /// up to this many times (exponential backoff) before the swap gives up.
+    unsigned max_chunk_retries = 3;
+    Cycle retry_backoff = 256;  ///< first retry delay; doubles per attempt
+    /// After this many consecutive aborted swaps the engine freezes the
+    /// table at its current (valid) mapping and stops migrating.
+    unsigned degrade_after_aborts = 3;
   };
 
   struct Stats {
@@ -90,6 +98,12 @@ class MigrationEngine {
     std::uint64_t bytes_copied = 0;
     std::uint64_t table_updates = 0;
     Cycle busy_cycles = 0;  ///< summed wall-clock of active swaps
+    // Fault-injection outcomes (all zero when no injector is attached).
+    std::uint64_t chunks_dropped = 0;
+    std::uint64_t chunks_delayed = 0;
+    std::uint64_t chunk_retries = 0;
+    std::uint64_t swaps_aborted = 0;
+    std::uint64_t swaps_wedged = 0;
   };
 
   MigrationEngine(TranslationTable& table, DramSystem& on_package,
@@ -98,6 +112,23 @@ class MigrationEngine {
   [[nodiscard]] bool idle() const noexcept { return steps_.empty(); }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Attach a fault injector (nullptr detaches). Not owned.
+  void set_fault_injector(fault::FaultInjector* inj) noexcept {
+    injector_ = inj;
+  }
+  /// A wedged engine holds an unfinished swap it can never complete (the
+  /// basic N design has no recovery choreography); the MemSim watchdog
+  /// turns this into a structured SimError instead of a hang.
+  [[nodiscard]] bool wedged() const noexcept { return wedged_; }
+  /// Degraded mode: the table is frozen at its current valid mapping and
+  /// no further swaps start; demand traffic keeps being served.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  [[nodiscard]] Cycle degraded_at() const noexcept { return degraded_at_; }
+  /// Copy chunks currently streaming (0 for a wedged or idle engine).
+  [[nodiscard]] std::size_t in_flight_chunks() const noexcept {
+    return inflight_.size();
+  }
 
   /// Instant mode: swaps apply their table mutations immediately with no
   /// copy traffic — used to fast-forward a warm-up phase to the placement
@@ -123,12 +154,22 @@ class MigrationEngine {
                                                 SlotId cold_slot) const;
 
  private:
+  struct InFlightChunk {
+    std::uint64_t chunk = 0;
+    bool write_phase = false;
+  };
+
   [[nodiscard]] std::uint64_t chunk_size() const noexcept;
   void begin_step(Cycle at);
   void submit_read(std::uint64_t chunk, Cycle at);
   void submit_write(std::uint64_t chunk, Cycle at);
   void finish_step(Cycle at);
   void apply(const TableMutation& m);
+  void resubmit(const InFlightChunk& fc, Cycle at);
+  void handle_chunk_failure(const InFlightChunk& fc, Cycle at);
+  void abort_swap(Cycle at);
+  void wedge();
+  void enter_degraded(Cycle at);
   /// Chunk index (in fill order) -> byte offset within the page.
   [[nodiscard]] std::uint64_t chunk_offset(std::uint64_t k) const noexcept;
   [[nodiscard]] static std::uint64_t key(Region r, RequestId id) noexcept {
@@ -146,13 +187,16 @@ class MigrationEngine {
   std::uint64_t next_chunk_ = 0;       ///< next chunk to start reading
   std::uint64_t chunks_completed_ = 0;
   std::uint64_t first_chunk_ = 0;  ///< rotation start (critical-first)
-  struct InFlightChunk {
-    std::uint64_t chunk = 0;
-    bool write_phase = false;
-  };
   std::unordered_map<std::uint64_t, InFlightChunk> inflight_;
   Cycle swap_began_ = 0;
   bool instant_ = false;
+
+  fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
+  std::unordered_map<std::uint64_t, unsigned> retry_count_;  ///< per phase
+  unsigned consecutive_aborts_ = 0;
+  bool wedged_ = false;
+  bool degraded_ = false;
+  Cycle degraded_at_ = 0;
 };
 
 }  // namespace hmm

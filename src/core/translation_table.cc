@@ -1,13 +1,14 @@
 #include "core/translation_table.hh"
 
-#include <cassert>
 #include <string>
+
+#include "fault/sim_error.hh"
 
 namespace hmm {
 
 TranslationTable::TranslationTable(const Geometry& g, TableMode mode)
     : geom_(g), mode_(mode), slots_(g.slots()), rows_(g.slots()) {
-  assert(g.valid());
+  HMM_CHECK(g.valid(), "translation table built on an invalid geometry");
   for (SlotId s = 0; s < slots_; ++s) rows_[s].occupant = s;
   if (mode_ == TableMode::HardwareNMinus1) {
     // The last slot starts empty; its left page is the initial Ghost page,
@@ -123,7 +124,7 @@ void TranslationTable::set_pending(SlotId row, bool value) {
 
 void TranslationTable::begin_fill(SlotId slot, PageId page,
                                   MachAddr old_base) {
-  assert(!fill_active_);
+  HMM_CHECK(!fill_active_, "begin_fill while a fill is already active");
   fill_active_ = true;
   fill_slot_ = slot;
   fill_page_ = page;
@@ -132,7 +133,8 @@ void TranslationTable::begin_fill(SlotId slot, PageId page,
 }
 
 void TranslationTable::mark_sub_block(std::uint32_t index) {
-  assert(fill_active_ && index < fill_bitmap_.size());
+  HMM_CHECK(fill_active_ && index < fill_bitmap_.size(),
+            "mark_sub_block outside an active fill window");
   fill_bitmap_[index] = true;
 }
 
@@ -141,9 +143,27 @@ bool TranslationTable::sub_block_ready(std::uint32_t index) const noexcept {
 }
 
 void TranslationTable::end_fill() {
-  assert(fill_active_);
+  HMM_CHECK(fill_active_, "end_fill without an active fill");
   fill_active_ = false;
   fill_page_ = kInvalidPage;
+}
+
+std::uint32_t TranslationTable::fill_ready_count() const noexcept {
+  if (!fill_active_) return 0;
+  std::uint32_t n = 0;
+  for (const bool b : fill_bitmap_)
+    if (b) ++n;
+  return n;
+}
+
+void TranslationTable::flip_pending_bit(SlotId row) {
+  rows_[row].pending = !rows_[row].pending;
+}
+
+void TranslationTable::flip_occupant_bit(SlotId row, unsigned bit) {
+  // Deliberately bypasses set_row(): the CAM and empty-slot cache are left
+  // stale, exactly as a hardware bit-flip would leave them.
+  rows_[row].occupant ^= (PageId{1} << (bit % 32));
 }
 
 void TranslationTable::note_data_at(PageId p, PageId machine_page) {
@@ -159,6 +179,10 @@ void TranslationTable::set_occupant(SlotId s, PageId page) {
 
 std::string TranslationTable::validate() const {
   if (mode_ == TableMode::FunctionalN) {
+    // The basic N design has no P/F hardware; any such state is corruption.
+    if (fill_active_) return "fill active in FunctionalN mode";
+    for (SlotId s = 0; s < slots_; ++s)
+      if (rows_[s].pending) return "pending bit set in FunctionalN mode";
     // Placement map must be a bijection on its exceptional entries.
     std::unordered_map<PageId, PageId> inverse;
     for (const auto& [p, m] : location_) {
@@ -168,12 +192,23 @@ std::string TranslationTable::validate() const {
     return {};
   }
 
+  if (fill_active_) {
+    if (fill_slot_ >= slots_) return "fill slot out of range";
+    if (fill_page_ == kInvalidPage) return "fill active with no fill page";
+    if (fill_bitmap_.size() != geom_.sub_blocks_per_page())
+      return "fill bitmap size disagrees with geometry";
+  }
+
   unsigned empties = 0;
   unsigned pendings = 0;
   for (SlotId s = 0; s < slots_; ++s) {
     const RowState& r = rows_[s];
     if (r.occupant == kInvalidPage) ++empties;
     if (r.pending) ++pendings;
+    if (r.pending && r.occupant == kInvalidPage)
+      return "pending bit set on an empty row";
+    if (r.occupant != kInvalidPage && r.occupant >= geom_.total_pages())
+      return "occupant field holds a page id outside the address space";
     if (r.occupant != kInvalidPage && r.occupant < slots_ &&
         r.occupant != s)
       return "page id < N stored outside its own slot";
@@ -186,6 +221,9 @@ std::string TranslationTable::validate() const {
   }
   if (empties > 1) return "more than one empty slot";
   if (pendings > 1) return "more than one pending row";
+  if (empty_cache_.has_value() &&
+      rows_[*empty_cache_].occupant != kInvalidPage)
+    return "empty-slot cache points at an occupied row";
 
   // During a fill the encoding intentionally disagrees for the fill page;
   // everywhere else the encoding must reproduce the placement truth.

@@ -79,6 +79,9 @@ class TranslationTable {
   [[nodiscard]] bool pending(SlotId s) const noexcept;
   [[nodiscard]] bool fill_active() const noexcept { return fill_active_; }
   [[nodiscard]] PageId fill_page() const noexcept { return fill_page_; }
+  /// Number of sub-blocks already landed in the filling slot (0 when no
+  /// fill is active). The auditor checks this never decreases mid-fill.
+  [[nodiscard]] std::uint32_t fill_ready_count() const noexcept;
 
   // --- mutations driven by the migration engine ----------------------------
   /// Write the right column of `row` (activates the CAM entry for page).
@@ -105,6 +108,14 @@ class TranslationTable {
   /// Cross-checks the hardware encoding against the placement map and the
   /// structural invariants; returns an error description or empty string.
   [[nodiscard]] std::string validate() const;
+
+  // --- fault-injection hooks (FaultInjector / tests only) ------------------
+  /// Flip the P bit of `row` without going through the swap protocol —
+  /// models a transient in the translation hardware. The next audit must
+  /// detect the resulting encoding/placement disagreement.
+  void flip_pending_bit(SlotId row);
+  /// Flip one bit of `row`'s occupant field (CAM corruption).
+  void flip_occupant_bit(SlotId row, unsigned bit);
 
   /// Hardware cost of this table in bits (entry = id bits + P + F).
   [[nodiscard]] std::uint64_t table_bits() const noexcept;

@@ -1,8 +1,9 @@
 #include "dram/channel.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
+
+#include "fault/sim_error.hh"
 
 namespace hmm {
 
@@ -216,7 +217,7 @@ bool DramChannel::step(Cycle limit) {
   // sooner and should not queue behind a bus reservation made for a
   // stalled bank.
   std::size_t i = pick(t);
-  assert(i != npos);
+  HMM_CHECK(i != npos, "scheduler picked no request from a non-empty queue");
   const Cycle ready = bank_ready_estimate(queue_[i], t);
   if (ready > t + timing_.tRP + timing_.tRCD) {
     Cycle next_arrival = kNeverCycle;

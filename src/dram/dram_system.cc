@@ -34,6 +34,9 @@ RequestId DramSystem::submit(MachAddr addr, std::uint32_t bytes,
   req.type = type;
   req.priority = priority;
   req.arrival = arrival;
+  if (injector_ != nullptr &&
+      injector_->fires(fault::FaultSite::ChannelStall, addr))
+    req.arrival += injector_->plan().stall_cycles;
   req.id = next_id_++;  // system-wide unique id
   const unsigned ch = channel_hint >= 0
                           ? static_cast<unsigned>(channel_hint) %

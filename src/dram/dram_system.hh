@@ -9,6 +9,7 @@
 #include "common/params.hh"
 #include "common/types.hh"
 #include "dram/channel.hh"
+#include "fault/fault_injector.hh"
 
 namespace hmm {
 
@@ -38,6 +39,13 @@ class DramSystem {
   [[nodiscard]] std::vector<DramCompletion> take_completions();
 
   [[nodiscard]] Region region() const noexcept { return region_; }
+
+  /// Attach a fault injector (nullptr detaches). Not owned. Site
+  /// ChannelStall: a submitted request's arrival is pushed back by the
+  /// plan's stall_cycles (a transient bus/retraining stall).
+  void set_fault_injector(fault::FaultInjector* inj) noexcept {
+    injector_ = inj;
+  }
   [[nodiscard]] unsigned channel_of(MachAddr addr) const noexcept;
   [[nodiscard]] std::size_t backlog() const noexcept;
   [[nodiscard]] std::size_t demand_backlog() const noexcept;
@@ -73,6 +81,7 @@ class DramSystem {
   AddressMapping mapping_;
   std::vector<DramChannel> channels_;
   RequestId next_id_ = 0;
+  fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace hmm

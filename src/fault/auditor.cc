@@ -1,0 +1,44 @@
+#include "fault/auditor.hh"
+
+#include <string>
+
+#include "core/controller.hh"
+#include "core/translation_table.hh"
+
+namespace hmm::fault {
+
+InvariantAuditor::InvariantAuditor(const TranslationTable& table,
+                                   const HeteroMemoryController* controller,
+                                   std::uint64_t interval)
+    : table_(table), controller_(controller), interval_(interval) {}
+
+void InvariantAuditor::audit() {
+  ++audits_;
+
+  const std::string table_err = table_.validate();
+  if (!table_err.empty())
+    throw SimError(SimErrorKind::AuditFailed,
+                   "translation table: " + table_err);
+
+  if (table_.fill_active() && table_.fill_page() == last_fill_page_) {
+    const std::uint32_t ready = table_.fill_ready_count();
+    if (ready < last_fill_ready_)
+      throw SimError(SimErrorKind::AuditFailed,
+                     "fill bitmap lost sub-blocks mid-fill");
+    last_fill_ready_ = ready;
+  } else if (table_.fill_active()) {
+    last_fill_page_ = table_.fill_page();
+    last_fill_ready_ = table_.fill_ready_count();
+  } else {
+    last_fill_page_ = kInvalidPage;
+    last_fill_ready_ = 0;
+  }
+
+  if (controller_ != nullptr) {
+    const std::string ctl_err = controller_->audit();
+    if (!ctl_err.empty())
+      throw SimError(SimErrorKind::AuditFailed, ctl_err);
+  }
+}
+
+}  // namespace hmm::fault

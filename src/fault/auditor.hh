@@ -1,0 +1,59 @@
+// Periodic full-state invariant audit (the deep end of
+// TranslationTable::validate()).
+//
+// MemSim calls on_access() once per demand access; every `interval`
+// accesses the auditor sweeps the translation table (bidirectional
+// RAM/CAM consistency, P/F-bit protocol legality, encoding-vs-placement
+// agreement), checks fill-bitmap monotonicity against the previous
+// observation, and runs the controller's tracker self-checks. Any
+// violation throws SimError(AuditFailed) — injected corruption surfaces
+// as a structured, attributable error instead of a silently wrong run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "fault/sim_error.hh"
+
+namespace hmm {
+class TranslationTable;
+class HeteroMemoryController;
+}  // namespace hmm
+
+namespace hmm::fault {
+
+class InvariantAuditor {
+ public:
+  /// `interval` == 0 disables the periodic audit entirely (audit() can
+  /// still be called directly). `controller` may be null.
+  InvariantAuditor(const TranslationTable& table,
+                   const HeteroMemoryController* controller,
+                   std::uint64_t interval);
+
+  /// Fast path: counts the access, audits when the interval elapses.
+  void on_access() {
+    if (interval_ == 0) return;
+    if (++since_audit_ >= interval_) {
+      since_audit_ = 0;
+      audit();
+    }
+  }
+
+  /// Full sweep; throws SimError(AuditFailed) on any violation.
+  void audit();
+
+  [[nodiscard]] std::uint64_t audits() const noexcept { return audits_; }
+
+ private:
+  const TranslationTable& table_;
+  const HeteroMemoryController* controller_;
+  std::uint64_t interval_;
+  std::uint64_t since_audit_ = 0;
+  std::uint64_t audits_ = 0;
+  // Fill-bitmap monotonicity: within one fill of the same page, the number
+  // of landed sub-blocks must never decrease.
+  PageId last_fill_page_ = kInvalidPage;
+  std::uint32_t last_fill_ready_ = 0;
+};
+
+}  // namespace hmm::fault

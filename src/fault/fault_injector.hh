@@ -1,0 +1,175 @@
+// Deterministic fault injection for the migration pipeline.
+//
+// A FaultPlan is a list of {site, rate, after, max_fires} rules; the
+// FaultInjector evaluates them with one PCG32 stream *per site*, seeded
+// from (plan seed, site index). Because each site's decisions depend only
+// on that site's own opportunity counter, the fault sequence is a pure
+// function of the plan — identical across thread counts, platforms, and
+// unrelated code motion, which is what makes fault runs replayable.
+//
+// An empty plan is free: fires() returns immediately without touching any
+// RNG, so a fault-rate-0 run is bit-identical to a build without the
+// hooks. Sites (where the hooks live):
+//   MigrationChunkDrop   engine: a copy chunk's completion is lost
+//   MigrationChunkDelay  engine: a copy chunk must be re-streamed later
+//   SwapAbort            engine: the in-flight swap aborts mid-step
+//   ChannelStall         dram:   transient stall delays a request's arrival
+//   TableBitFlip         memsim: a P/occupant bit of the table flips
+//   HotnessCorrupt       controller: an access is recorded for a wrong page
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace hmm::fault {
+
+enum class FaultSite : std::uint8_t {
+  MigrationChunkDrop,
+  MigrationChunkDelay,
+  SwapAbort,
+  ChannelStall,
+  TableBitFlip,
+  HotnessCorrupt,
+};
+inline constexpr unsigned kFaultSiteCount = 6;
+
+[[nodiscard]] constexpr const char* to_string(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::MigrationChunkDrop: return "chunk-drop";
+    case FaultSite::MigrationChunkDelay: return "chunk-delay";
+    case FaultSite::SwapAbort: return "swap-abort";
+    case FaultSite::ChannelStall: return "channel-stall";
+    case FaultSite::TableBitFlip: return "table-bit-flip";
+    case FaultSite::HotnessCorrupt: return "hotness-corrupt";
+  }
+  return "?";
+}
+
+/// Parse a site name as printed by to_string(); returns false on no match.
+[[nodiscard]] inline bool site_from_name(std::string_view name,
+                                         FaultSite& out) noexcept {
+  for (unsigned i = 0; i < kFaultSiteCount; ++i) {
+    const auto s = static_cast<FaultSite>(i);
+    if (name == to_string(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One injection rule. `rate >= 1` fires at every opportunity; otherwise
+/// each opportunity fires with probability `rate`. The first `after`
+/// opportunities never fire (arming delay, for targeting a specific chunk
+/// or access), and at most `max_fires` faults are injected in total.
+struct FaultRule {
+  FaultSite site = FaultSite::MigrationChunkDrop;
+  double rate = 0.0;
+  std::uint64_t after = 0;
+  std::uint64_t max_fires = UINT64_MAX;
+};
+
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  std::uint64_t seed = 0x5eedfau;
+  Cycle stall_cycles = 500;  ///< ChannelStall: arrival push-back
+  Cycle delay_cycles = 400;  ///< MigrationChunkDelay: re-stream delay
+
+  [[nodiscard]] bool empty() const noexcept { return rules.empty(); }
+  FaultPlan& add(FaultSite site, double rate, std::uint64_t after = 0,
+                 std::uint64_t max_fires = UINT64_MAX) {
+    rules.push_back({site, rate, after, max_fires});
+    return *this;
+  }
+};
+
+/// One injected fault, recorded for the results artifact (bounded log).
+struct FaultEvent {
+  FaultSite site = FaultSite::MigrationChunkDrop;
+  std::uint64_t opportunity = 0;  ///< site-local opportunity index
+  std::uint64_t detail = 0;       ///< site-specific (chunk index, page id...)
+};
+
+class FaultInjector {
+ public:
+  static constexpr std::size_t kMaxEvents = 4096;
+
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {
+    for (const FaultRule& r : plan.rules) {
+      SiteState& st = sites_[index(r.site)];
+      st.rule = r;  // one rule per site; last one wins
+      st.armed = r.rate > 0.0 && r.max_fires > 0;
+    }
+    for (unsigned i = 0; i < kFaultSiteCount; ++i)
+      sites_[i].rng = Pcg32(plan.seed, /*stream=*/i + 1);
+    payload_rng_ = Pcg32(plan.seed, /*stream=*/kFaultSiteCount + 1);
+    enabled_ = !plan.rules.empty();
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// One opportunity at `site`; returns true when the fault fires (and
+  /// records it). Deterministic: depends only on the plan and the number
+  /// of prior opportunities at this same site.
+  bool fires(FaultSite site, std::uint64_t detail = 0) {
+    if (!enabled_) return false;
+    SiteState& st = sites_[index(site)];
+    if (!st.armed) return false;
+    const std::uint64_t op = st.opportunities++;
+    if (op < st.rule.after) return false;
+    if (st.fires >= st.rule.max_fires) return false;
+    const bool hit = st.rule.rate >= 1.0 || st.rng.chance(st.rule.rate);
+    if (!hit) return false;
+    ++st.fires;
+    ++total_fires_;
+    if (events_.size() < kMaxEvents) events_.push_back({site, op, detail});
+    return true;
+  }
+
+  /// Site-independent randomness for fault *payloads* (which bit to flip,
+  /// which page id to scramble) — separate stream so payload draws never
+  /// perturb the fire/no-fire sequences.
+  [[nodiscard]] Pcg32& payload_rng() noexcept { return payload_rng_; }
+
+  [[nodiscard]] std::uint64_t opportunities(FaultSite s) const noexcept {
+    return sites_[index(s)].opportunities;
+  }
+  [[nodiscard]] std::uint64_t fires_count(FaultSite s) const noexcept {
+    return sites_[index(s)].fires;
+  }
+  [[nodiscard]] std::uint64_t total_fires() const noexcept {
+    return total_fires_;
+  }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  struct SiteState {
+    FaultRule rule;
+    bool armed = false;
+    std::uint64_t opportunities = 0;
+    std::uint64_t fires = 0;
+    Pcg32 rng;
+  };
+
+  [[nodiscard]] static constexpr unsigned index(FaultSite s) noexcept {
+    return static_cast<unsigned>(s);
+  }
+
+  FaultPlan plan_;
+  std::array<SiteState, kFaultSiteCount> sites_;
+  Pcg32 payload_rng_;
+  bool enabled_ = false;
+  std::uint64_t total_fires_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace hmm::fault

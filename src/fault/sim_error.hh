@@ -1,0 +1,77 @@
+// Structured simulator errors and the always-on invariant check macro.
+//
+// The paper's robustness claim — the N-1 choreography keeps every datum
+// addressable "so execution never halts" — is only worth something if a
+// violated invariant surfaces as a diagnosable error in *every* build
+// type. Release builds compile `assert()` away, so the core and DRAM
+// layers use HMM_CHECK instead: the condition is always evaluated and a
+// failure throws SimError carrying file:line context. Watchdogs, the
+// invariant auditor, and the runner's per-cell deadline all raise the
+// same type, so one catch site in the runner can classify any outcome.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hmm::fault {
+
+enum class SimErrorKind : unsigned char {
+  CheckFailed,  ///< an HMM_CHECK condition was false
+  AuditFailed,  ///< the periodic invariant audit found corruption
+  Watchdog,     ///< simulated time can no longer advance (wedged swap)
+  Timeout,      ///< the cell exceeded its wall-clock budget
+};
+
+[[nodiscard]] constexpr const char* to_string(SimErrorKind k) noexcept {
+  switch (k) {
+    case SimErrorKind::CheckFailed: return "check";
+    case SimErrorKind::AuditFailed: return "audit";
+    case SimErrorKind::Watchdog: return "watchdog";
+    case SimErrorKind::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+class SimError : public std::runtime_error {
+ public:
+  SimError(SimErrorKind kind, const std::string& message,
+           const char* file = nullptr, int line = 0)
+      : std::runtime_error(format(kind, message, file, line)), kind_(kind) {}
+
+  [[nodiscard]] SimErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  [[nodiscard]] static std::string format(SimErrorKind kind,
+                                          const std::string& message,
+                                          const char* file, int line) {
+    std::string s = "[";
+    s += to_string(kind);
+    s += "] ";
+    s += message;
+    if (file != nullptr) {
+      s += " (";
+      s += file;
+      s += ":";
+      s += std::to_string(line);
+      s += ")";
+    }
+    return s;
+  }
+
+  SimErrorKind kind_;
+};
+
+}  // namespace hmm::fault
+
+/// Always-on invariant check: evaluated in every build type; a failure
+/// throws SimError with file:line context instead of silently vanishing
+/// the way release-mode assert() does. Use only in functions that may
+/// throw (never in noexcept paths).
+#define HMM_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw ::hmm::fault::SimError(::hmm::fault::SimErrorKind::CheckFailed, \
+                                   std::string(msg) + " [" #cond "]",     \
+                                   __FILE__, __LINE__);                   \
+    }                                                                     \
+  } while (false)

@@ -66,6 +66,11 @@ struct CellResult {
   std::uint64_t seed = 0;
   bool ok = false;
   std::string error;
+  /// "ok", "failed", or "timeout" — the classified outcome of the last
+  /// attempt (SimError kinds map timeout explicitly; everything else that
+  /// throws is "failed").
+  std::string status = "failed";
+  unsigned attempts = 0;  ///< 1 normally; 2 when the cell was retried
   double wall_seconds = 0;  ///< non-deterministic; excluded from comparisons
   RunResult result;
 };

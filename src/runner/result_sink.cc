@@ -44,10 +44,12 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
   // per-job wall-time summaries over the successful cells.
   RunningStat lat, wall;
   std::uint64_t failed = 0;
+  std::uint64_t retried = 0;
   for (const CellResult& c : cells) {
     RunningStat one;
     one.add(c.wall_seconds);
     wall.merge(one);
+    if (c.attempts > 1) ++retried;
     if (!c.ok) {
       ++failed;
       continue;
@@ -58,7 +60,7 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
   JsonWriter j(os);
   j.begin_object();
   j.kv("bench", bench_);
-  j.kv("schema_version", 1);
+  j.kv("schema_version", 2);
   j.key("params").begin_object();
   for (const auto& [k, v] : params_) j.kv(k, v);
   j.end_object();
@@ -69,6 +71,8 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
     j.kv("key", c.key);
     j.kv("seed", c.seed);
     j.kv("ok", c.ok);
+    j.kv("status", c.status);
+    j.kv("attempts", static_cast<std::uint64_t>(c.attempts));
     if (!c.ok) j.kv("error", c.error);
     j.kv("wall_seconds", c.wall_seconds);  // non-deterministic by nature
     if (c.ok) {
@@ -87,7 +91,28 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
       j.kv("demand_bytes_off", r.demand_bytes_off);
       j.kv("energy_pj", r.energy_pj);
       j.kv("normalized_power", r.normalized_power());
+      if (r.faults_injected > 0 || r.audits > 0) {
+        j.kv("faults_injected", r.faults_injected);
+        j.kv("chunk_retries", r.chunk_retries);
+        j.kv("chunks_dropped", r.chunks_dropped);
+        j.kv("swap_aborts", r.swap_aborts);
+        j.kv("audits", r.audits);
+        j.kv("degraded", r.degraded);
+        if (r.degraded)
+          j.kv("degraded_at", static_cast<std::uint64_t>(r.degraded_at));
+      }
       j.end_object();
+      if (!r.fault_events.empty()) {
+        j.key("fault_events").begin_array();
+        for (const fault::FaultEvent& e : r.fault_events) {
+          j.begin_object();
+          j.kv("site", to_string(e.site));
+          j.kv("opportunity", e.opportunity);
+          j.kv("detail", e.detail);
+          j.end_object();
+        }
+        j.end_array();
+      }
     }
     if (const auto it = derived_.find(c.key); it != derived_.end()) {
       j.key("derived").begin_object();
@@ -101,6 +126,7 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
   j.key("summary").begin_object();
   j.kv("cells", static_cast<std::uint64_t>(cells.size()));
   j.kv("failed", failed);
+  j.kv("retried", retried);
   if (lat.count() > 0) {
     j.kv("avg_latency_mean", lat.mean());
     j.kv("avg_latency_min", lat.min());

@@ -1,11 +1,13 @@
 #include "runner/runner.hh"
 
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "fault/sim_error.hh"
 #include "runner/thread_pool.hh"
 
 namespace hmm::runner {
@@ -18,12 +20,22 @@ namespace {
   return hw > 0 ? hw : 1;
 }
 
+[[nodiscard]] double resolve_cell_timeout(double requested) {
+  if (requested >= 0) return requested;
+  const char* env = std::getenv("HMM_CELL_TIMEOUT");
+  if (env == nullptr || *env == '\0') return 0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 0;
+}
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(RunnerOptions opts)
     : jobs_(resolve_jobs(opts.jobs)),
       base_seed_(opts.base_seed),
-      observer_(opts.observer) {}
+      observer_(opts.observer),
+      cell_timeout_(resolve_cell_timeout(opts.cell_timeout_seconds)),
+      retry_failed_(opts.retry_failed) {}
 
 RunResult ExperimentRunner::replay(const ExperimentSpec& spec,
                                    std::uint64_t seed) {
@@ -42,23 +54,55 @@ RunResult ExperimentRunner::replay(const ExperimentSpec& spec,
   return sim.result();
 }
 
-CellResult ExperimentRunner::execute(const ExperimentSpec& spec) const {
+CellResult ExperimentRunner::attempt(const ExperimentSpec& spec,
+                                     std::uint64_t seed) const {
   CellResult cell;
   cell.key = spec.key;
-  cell.seed = derive_seed(base_seed_,
-                          spec.seed_key.empty() ? spec.key : spec.seed_key);
+  cell.seed = seed;
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    cell.result = spec.job ? spec.job(cell.seed) : replay(spec, cell.seed);
+    if (spec.job) {
+      cell.result = spec.job(seed);
+    } else if (cell_timeout_ > 0 && spec.config.max_wall_seconds <= 0) {
+      ExperimentSpec bounded = spec;
+      bounded.config.max_wall_seconds = cell_timeout_;
+      cell.result = replay(bounded, seed);
+    } else {
+      cell.result = replay(spec, seed);
+    }
     cell.ok = true;
+    cell.status = "ok";
+  } catch (const fault::SimError& e) {
+    cell.error = e.what();
+    cell.status =
+        e.kind() == fault::SimErrorKind::Timeout ? "timeout" : "failed";
   } catch (const std::exception& e) {
     cell.error = e.what();
+    cell.status = "failed";
   } catch (...) {
     cell.error = "unknown exception";
+    cell.status = "failed";
   }
   cell.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  return cell;
+}
+
+CellResult ExperimentRunner::execute(const ExperimentSpec& spec) const {
+  const std::uint64_t seed = derive_seed(
+      base_seed_, spec.seed_key.empty() ? spec.key : spec.seed_key);
+  CellResult cell = attempt(spec, seed);
+  cell.attempts = 1;
+  if (!cell.ok && retry_failed_) {
+    // One more try with the identical seed: a transient host effect (e.g.
+    // a timeout on a loaded machine) clears, a deterministic failure
+    // reproduces — either way the outcome is informative.
+    const double first_wall = cell.wall_seconds;
+    cell = attempt(spec, seed);
+    cell.attempts = 2;
+    cell.wall_seconds += first_wall;
+  }
   return cell;
 }
 

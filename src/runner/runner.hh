@@ -26,6 +26,14 @@ struct RunnerOptions {
   unsigned jobs = 0;  ///< worker threads; 0 = hardware concurrency, 1 = inline
   std::uint64_t base_seed = 42;          ///< mixed into every cell seed
   ProgressObserver* observer = nullptr;  ///< optional; callbacks serialized
+  /// Per-cell wall-clock deadline in seconds; a cell exceeding it fails
+  /// with status "timeout". < 0 = read the HMM_CELL_TIMEOUT environment
+  /// variable (unset or 0 = no deadline).
+  double cell_timeout_seconds = -1;
+  /// Run a failed cell once more with the identical seed (transient host
+  /// effects — e.g. a timeout on a loaded machine — get a second chance;
+  /// a deterministic failure reproduces exactly).
+  bool retry_failed = true;
 };
 
 class ExperimentRunner {
@@ -47,10 +55,14 @@ class ExperimentRunner {
 
  private:
   [[nodiscard]] CellResult execute(const ExperimentSpec& spec) const;
+  [[nodiscard]] CellResult attempt(const ExperimentSpec& spec,
+                                   std::uint64_t seed) const;
 
   unsigned jobs_;
   std::uint64_t base_seed_;
   ProgressObserver* observer_;
+  double cell_timeout_;
+  bool retry_failed_;
 };
 
 }  // namespace hmm::runner

@@ -1,7 +1,6 @@
 #include "sim/memsim.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace hmm {
 
@@ -9,7 +8,40 @@ MemSim::MemSim(const MemSimConfig& cfg)
     : cfg_(cfg),
       on_(DramSystem::make(Region::OnPackage, cfg.policy)),
       off_(DramSystem::make(Region::OffPackage, cfg.policy)),
-      ctl_(cfg.controller, on_, off_) {}
+      ctl_(cfg.controller, on_, off_),
+      injector_(cfg.fault),
+      auditor_(ctl_.table(), &ctl_, cfg.audit_interval),
+      started_(std::chrono::steady_clock::now()) {
+  if (injector_.enabled()) {
+    ctl_.set_fault_injector(&injector_);
+    on_.set_fault_injector(&injector_);
+    off_.set_fault_injector(&injector_);
+  }
+}
+
+void MemSim::check_deadline() const {
+  if (cfg_.max_wall_seconds <= 0) return;
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started_;
+  if (elapsed.count() > cfg_.max_wall_seconds)
+    throw fault::SimError(
+        fault::SimErrorKind::Timeout,
+        "simulation exceeded its wall-clock budget of " +
+            std::to_string(cfg_.max_wall_seconds) + "s");
+}
+
+void MemSim::check_wedged() const {
+  if (ctl_.migration_idle()) return;
+  if (ctl_.engine().in_flight_chunks() != 0) return;
+  if (on_.backlog() != 0 || off_.backlog() != 0) return;
+  // No copy chunk in flight, both regions drained, yet the swap is not
+  // finished: no future event can ever advance it.
+  throw fault::SimError(
+      fault::SimErrorKind::Watchdog,
+      std::string("migration engine wedged mid-swap (design ") +
+          to_string(ctl_.engine().config().design) +
+          "): simulated time cannot advance");
+}
 
 void MemSim::handle_completion(const DramCompletion& c, Region region) {
   if (c.priority == Priority::Background) {
@@ -57,8 +89,16 @@ Cycle MemSim::force_migration_idle(Cycle now) {
     for (const auto& c : a) handle_completion(c, Region::OnPackage);
     for (const auto& c : b) handle_completion(c, Region::OffPackage);
     now = std::max(now, t);
-    if (a.empty() && b.empty()) break;  // engine stuck would spin otherwise
+    if (a.empty() && b.empty()) {
+      // Nothing completed though the engine is still busy: either a wedge
+      // (watchdog throws) or an external event must advance it.
+      check_wedged();
+      break;
+    }
   }
+  if (!ctl_.migration_idle() && guard >= 1'000'000)
+    throw fault::SimError(fault::SimErrorKind::Watchdog,
+                          "swap did not finish within the event budget");
   return now;
 }
 
@@ -72,11 +112,27 @@ void MemSim::throttle(DramSystem& sys, Cycle& now) {
     now += step;
     pump(now);
   }
+  if (sys.demand_backlog() >= cfg_.max_demand_backlog)
+    throw fault::SimError(fault::SimErrorKind::Watchdog,
+                          "demand backlog refuses to drain");
 }
 
 void MemSim::step(const TraceRecord& r) {
   Cycle now = std::max(r.timestamp + slip_, last_now_);
   pump(now);
+
+  if (injector_.enabled() &&
+      injector_.fires(fault::FaultSite::TableBitFlip)) {
+    // A transient flips a bit in the translation hardware; the periodic
+    // audit must detect the resulting encoding/placement disagreement.
+    TranslationTable& t = ctl_.table();
+    const auto row = static_cast<SlotId>(
+        injector_.payload_rng().bounded64(t.geometry().slots()));
+    if (injector_.payload_rng().chance(0.5))
+      t.flip_pending_bit(row);
+    else
+      t.flip_occupant_bit(row, injector_.payload_rng().bounded(32));
+  }
 
   // Latency is charged from the moment the access was made, so a design-N
   // blocking swap shows up in the average memory access time (Fig 11).
@@ -117,10 +173,14 @@ void MemSim::step(const TraceRecord& r) {
   map.emplace(id, Outstanding{issue_time, d.extra_latency,
                               r.type == AccessType::Read});
   last_now_ = now;
+  auditor_.on_access();
 }
 
 void MemSim::run(SyntheticWorkload& workload, std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) step(workload.next());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    step(workload.next());
+    if ((++deadline_check_ & 1023u) == 0) check_deadline();
+  }
   finish();
 }
 
@@ -141,6 +201,8 @@ void MemSim::finish() {
     if ((a.empty() && b.empty()) || ++guard > 1'000'000) break;
   }
   end_time_ = end;
+  // Everything drained: a swap the engine still holds can never complete.
+  check_wedged();
 }
 
 void MemSim::reset_stats() {
@@ -180,6 +242,20 @@ RunResult MemSim::result() const {
   r.demand_bytes_off = off_.demand_bytes();
   r.os_stall_cycles = cs.os_stall_cycles;
   r.end_time = std::max(end_time_, last_now_);
+
+  const auto& es = ctl_.engine().stats();
+  r.faults_injected = injector_.total_fires();
+  r.chunk_retries = es.chunk_retries;
+  r.chunks_dropped = es.chunks_dropped;
+  r.swap_aborts = es.swaps_aborted;
+  r.audits = auditor_.audits();
+  r.degraded = ctl_.engine().degraded();
+  r.degraded_at = ctl_.engine().degraded_at();
+  const auto& events = injector_.events();
+  r.fault_events.assign(
+      events.begin(),
+      events.begin() +
+          std::min(events.size(), RunResult::kMaxReportedFaults));
 
   const EnergyBreakdown e = EnergyModel::hybrid(
       on_.demand_bytes(), off_.demand_bytes(), on_.background_bytes(),

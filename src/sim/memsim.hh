@@ -11,11 +11,14 @@
 // back-pressure a real CPU would see.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <unordered_map>
 
 #include "common/stats.hh"
 #include "core/controller.hh"
+#include "fault/auditor.hh"
+#include "fault/fault_injector.hh"
 #include "power/energy_model.hh"
 #include "sim/run_result.hh"
 #include "trace/generator.hh"
@@ -29,6 +32,14 @@ struct MemSimConfig {
   /// Reference modes for the Fig 11 guide lines.
   enum class Force : std::uint8_t { None, AllOffPackage, AllOnPackage };
   Force force = Force::None;
+  /// Fault-injection plan (empty = no faults, zero overhead, bit-identical
+  /// to a build without the hooks).
+  fault::FaultPlan fault;
+  /// Full invariant audit every this many accesses (0 = disabled).
+  std::uint64_t audit_interval = 0;
+  /// Wall-clock budget for this simulation, measured from construction;
+  /// exceeded => SimError(Timeout). 0 = no deadline.
+  double max_wall_seconds = 0;
 };
 
 class MemSim {
@@ -51,17 +62,31 @@ class MemSim {
   [[nodiscard]] HeteroMemoryController& controller() noexcept { return ctl_; }
   [[nodiscard]] DramSystem& on_package() noexcept { return on_; }
   [[nodiscard]] DramSystem& off_package() noexcept { return off_; }
+  [[nodiscard]] const fault::FaultInjector& injector() const noexcept {
+    return injector_;
+  }
+  [[nodiscard]] const fault::InvariantAuditor& auditor() const noexcept {
+    return auditor_;
+  }
 
  private:
   void pump(Cycle now);
   Cycle force_migration_idle(Cycle now);
   void handle_completion(const DramCompletion& c, Region region);
   void throttle(DramSystem& sys, Cycle& now);
+  void check_deadline() const;
+  /// Raises SimError(Watchdog) when simulated time can no longer advance:
+  /// the engine holds an unfinished swap but nothing is in flight anywhere.
+  void check_wedged() const;
 
   MemSimConfig cfg_;
   DramSystem on_;
   DramSystem off_;
   HeteroMemoryController ctl_;
+  fault::FaultInjector injector_;
+  fault::InvariantAuditor auditor_;
+  std::chrono::steady_clock::time_point started_;
+  std::uint64_t deadline_check_ = 0;
 
   /// Demand bookkeeping: system-unique request id -> issue context.
   struct Outstanding {

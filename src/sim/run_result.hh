@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/params.hh"
 #include "common/types.hh"
+#include "fault/fault_injector.hh"
 
 namespace hmm {
 
@@ -28,6 +30,19 @@ struct RunResult {
   std::uint64_t demand_bytes_off = 0;
   std::uint64_t os_stall_cycles = 0;
   Cycle end_time = 0;
+
+  // Fault-injection & resilience outcomes (all zero in a fault-free run).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t chunk_retries = 0;
+  std::uint64_t chunks_dropped = 0;
+  std::uint64_t swap_aborts = 0;
+  std::uint64_t audits = 0;
+  bool degraded = false;       ///< engine froze the table (DegradedMode)
+  Cycle degraded_at = 0;
+  /// The first injected faults, in order (bounded; see kMaxReportedFaults),
+  /// for the per-cell `fault_events` array in the results JSON.
+  std::vector<fault::FaultEvent> fault_events;
+  static constexpr std::size_t kMaxReportedFaults = 64;
 
   double energy_pj = 0;
   double energy_off_only_pj = 0;

@@ -6,12 +6,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "common/units.hh"
+#include "fault/sim_error.hh"
 #include "runner/json.hh"
+#include "runner/result_sink.hh"
 #include "runner/runner.hh"
 #include "runner/thread_pool.hh"
 #include "trace/workloads.hh"
@@ -209,6 +214,122 @@ TEST(ExperimentRunner, ObserverSeesEveryCellAndTheSummary) {
   EXPECT_EQ(rec.cells, 5u);
   EXPECT_EQ(rec.wall_count, 5u);
   EXPECT_GE(rec.elapsed, 0.0);
+}
+
+// --- failure classification, retry, per-cell deadline -----------------------
+
+TEST(ExperimentRunner, FailedCellRetriesOnceWithTheIdenticalSeed) {
+  std::vector<ExperimentSpec> grid(1);
+  grid[0].key = "flaky";
+  auto seeds = std::make_shared<std::vector<std::uint64_t>>();
+  grid[0].job = [seeds](std::uint64_t seed) -> RunResult {
+    seeds->push_back(seed);
+    if (seeds->size() == 1) throw std::runtime_error("transient");
+    return RunResult{};
+  };
+  const std::vector<CellResult> out = ExperimentRunner({.jobs = 1}).run(grid);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].ok);
+  EXPECT_EQ(out[0].status, "ok");
+  EXPECT_EQ(out[0].attempts, 2u);
+  ASSERT_EQ(seeds->size(), 2u);
+  EXPECT_EQ((*seeds)[0], (*seeds)[1]);  // the retry replays, not reseeds
+}
+
+TEST(ExperimentRunner, RetryCanBeDisabled) {
+  std::vector<ExperimentSpec> grid(1);
+  grid[0].key = "doomed";
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  grid[0].job = [calls](std::uint64_t) -> RunResult {
+    ++*calls;
+    throw std::runtime_error("always");
+  };
+  const std::vector<CellResult> out =
+      ExperimentRunner({.jobs = 1, .retry_failed = false}).run(grid);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].ok);
+  EXPECT_EQ(out[0].status, "failed");
+  EXPECT_EQ(out[0].attempts, 1u);
+  EXPECT_EQ(out[0].error, "always");
+  EXPECT_EQ(calls->load(), 1);
+}
+
+TEST(ExperimentRunner, SimErrorTimeoutIsClassifiedAsTimeout) {
+  std::vector<ExperimentSpec> grid(2);
+  grid[0].key = "slow";
+  grid[0].job = [](std::uint64_t) -> RunResult {
+    throw fault::SimError(fault::SimErrorKind::Timeout, "budget spent");
+  };
+  grid[1].key = "wedged";
+  grid[1].job = [](std::uint64_t) -> RunResult {
+    throw fault::SimError(fault::SimErrorKind::Watchdog, "cannot advance");
+  };
+  const std::vector<CellResult> out = ExperimentRunner({.jobs = 1}).run(grid);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].status, "timeout");
+  EXPECT_EQ(out[0].attempts, 2u);  // a timeout still earns one retry
+  EXPECT_EQ(out[1].status, "failed");
+  EXPECT_NE(out[1].error.find("[watchdog]"), std::string::npos);
+}
+
+TEST(ExperimentRunner, CellTimeoutOptionBoundsARealReplay) {
+  // A real (non-job) cell with a nanosecond budget: the MemSim deadline
+  // fires and the runner reports status "timeout", not a hang.
+  ExperimentSpec s;
+  s.key = "deadline";
+  s.workload = WorkloadInfo{"pgbench", "", 0, make_pgbench};
+  s.config.controller.geom = Geometry{4 * GiB, 512 * MiB, 256 * KiB, 4 * KiB};
+  s.config.controller.design = MigrationDesign::LiveMigration;
+  s.config.controller.migration_enabled = true;
+  s.config.controller.swap_interval = 1000;
+  s.accesses = 40000;
+  const std::vector<CellResult> out =
+      ExperimentRunner(
+          {.jobs = 1, .cell_timeout_seconds = 1e-9, .retry_failed = false})
+          .run({s});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].ok);
+  EXPECT_EQ(out[0].status, "timeout");
+  EXPECT_NE(out[0].error.find("[timeout]"), std::string::npos);
+}
+
+// --- result sink: status fields ---------------------------------------------
+
+TEST(ResultSink, JsonCarriesStatusAttemptsAndErrors) {
+  const char* saved = std::getenv("HMM_RESULTS_DIR");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::setenv("HMM_RESULTS_DIR", "/tmp/hmm_sink_test", 1);
+
+  ResultSink sink("sink_status_test");
+  CellResult ok;
+  ok.key = "good";
+  ok.ok = true;
+  ok.status = "ok";
+  ok.attempts = 1;
+  CellResult bad;
+  bad.key = "bad";
+  bad.ok = false;
+  bad.status = "timeout";
+  bad.attempts = 2;
+  bad.error = "[timeout] budget spent";
+  const std::string path = sink.write_json({ok, bad});
+  ASSERT_FALSE(path.empty());
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"timeout\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"error\": \"[timeout] budget spent\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"retried\": 1"), std::string::npos);
+
+  if (saved != nullptr)
+    ::setenv("HMM_RESULTS_DIR", saved_value.c_str(), 1);
+  else
+    ::unsetenv("HMM_RESULTS_DIR");
 }
 
 // --- JSON writer ------------------------------------------------------------
