@@ -18,6 +18,18 @@
 //                          the bench exercises)
 //   --audit-interval N     full invariant audit every N accesses
 //   HMM_CELL_TIMEOUT       per-cell wall-clock deadline in seconds
+//   --list-cells           print the deterministic "key seed" enumeration
+//                          of the sweep grid and exit
+//   --resume               skip cells recorded in the sweep journal (after
+//                          an interrupted/killed run); recorded metrics
+//                          replay bit-identically
+//   --no-isolate / HMM_ISOLATE=0   run cells in-process (threads) instead
+//                          of fork()ed child processes (process isolation
+//                          is the default with --jobs > 1: a crashing cell
+//                          becomes a "crashed" row, not a dead sweep)
+//   HMM_CKPT_INTERVAL      seconds between mid-cell auto-checkpoints
+//                          (default 30; 0 = checkpoint only on SIGINT/
+//                          SIGTERM)
 #pragma once
 
 #include <cstdint>
@@ -32,6 +44,7 @@
 #include "runner/progress.hh"
 #include "runner/result_sink.hh"
 #include "runner/runner.hh"
+#include "runner/supervisor.hh"
 #include "sim/memsim.hh"
 #include "trace/workloads.hh"
 
@@ -93,6 +106,60 @@ namespace hmm::bench {
   o.base_seed = 42;
   o.observer = &progress;
   return o;
+}
+
+/// `--resume`: continue an interrupted sweep from its journal.
+[[nodiscard]] inline bool resume_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--resume") == 0) return true;
+  }
+  return false;
+}
+
+/// `--no-isolate` / HMM_ISOLATE=0: keep cells in-process (PR 1 threads).
+[[nodiscard]] inline bool isolation_disabled(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-isolate") == 0) return true;
+  }
+  if (const char* e = std::getenv("HMM_ISOLATE"))
+    return e[0] == '0' && e[1] == '\0';
+  return false;
+}
+
+/// Durable runner options: everything the 2-arg overload sets, plus the
+/// bench-keyed journal + checkpoint directory (living next to the JSON
+/// artifact), --resume, SIGINT/SIGTERM handling, and fork()-based crash
+/// isolation by default. HMM_RESULTS_DIR="" disables the durable files.
+[[nodiscard]] inline runner::RunnerOptions runner_options(
+    int argc, char** argv, const std::string& bench_id) {
+  runner::RunnerOptions o = runner_options(argc, argv);
+  runner::install_interrupt_handlers();
+  if (!isolation_disabled(argc, argv))
+    o.isolation = runner::Isolation::Process;
+  const std::string dir = runner::ResultSink::results_dir();
+  if (!dir.empty()) {
+    o.journal_path = dir + "/" + bench_id + ".journal";
+    o.checkpoint_dir = dir + "/" + bench_id + ".ckpt";
+  }
+  o.resume = resume_requested(argc, argv);
+  return o;
+}
+
+/// `--list-cells`: print the grid's deterministic "key seed" enumeration
+/// (exactly the seeds the sweep will derive) and exit 0. Lets scripts
+/// pre-compute a sweep's contents without running it.
+inline void maybe_list_cells(const std::vector<runner::ExperimentSpec>& grid,
+                             const runner::RunnerOptions& opts, int argc,
+                             char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-cells") != 0) continue;
+    for (const runner::ExperimentSpec& s : grid) {
+      const std::uint64_t seed = runner::derive_seed(
+          opts.base_seed, s.seed_key.empty() ? s.key : s.seed_key);
+      std::cout << s.key << " " << seed << "\n";
+    }
+    std::exit(0);
+  }
 }
 
 /// Announce where a sweep's JSON artifact landed (path is "" when the
@@ -180,11 +247,22 @@ inline void report_artifact(const std::string& path) {
 [[nodiscard]] inline int finish(const std::vector<runner::CellResult>& cells,
                                 int argc, char** argv) {
   std::uint64_t failed = 0;
+  std::uint64_t interrupted = 0;
   for (const auto& c : cells) {
     if (c.ok) continue;
+    if (c.status == "interrupted") {
+      ++interrupted;
+      continue;
+    }
     ++failed;
     std::cerr << "[runner] FAILED " << c.key << " (" << c.status
               << "): " << c.error << "\n";
+  }
+  if (interrupted > 0) {
+    std::cerr << "[runner] interrupted: " << interrupted << "/"
+              << cells.size()
+              << " cells unfinished — rerun with --resume to continue\n";
+    return 130;  // the conventional 128 + SIGINT exit
   }
   if (failed == 0) return 0;
   std::cerr << "[runner] " << failed << "/" << cells.size()

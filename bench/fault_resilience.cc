@@ -107,8 +107,11 @@ int main(int argc, char** argv) {
     grid.push_back(bench::cell(wedge_key, wk, w, cfg, n));
   }
 
+  const runner::RunnerOptions opts =
+      bench::runner_options(argc, argv, "fault_resilience");
+  bench::maybe_list_cells(grid, opts, argc, argv);
   const std::vector<runner::CellResult> cells =
-      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+      runner::ExperimentRunner(opts).run(grid);
 
   runner::ResultSink sink("fault_resilience");
   sink.set_param("workload", w.name);

@@ -76,8 +76,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  const runner::RunnerOptions opts =
+      bench::runner_options(argc, argv, "fig11_swap_algorithms");
+  bench::maybe_list_cells(grid, opts, argc, argv);
   const std::vector<runner::CellResult> cells =
-      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+      runner::ExperimentRunner(opts).run(grid);
 
   auto latency = [](const runner::CellResult& c) {
     return c.ok ? TextTable::num(c.result.avg_latency) : std::string("FAILED");

@@ -51,8 +51,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  const runner::RunnerOptions opts =
+      bench::runner_options(argc, argv, "fig15_capacity_sensitivity");
+  bench::maybe_list_cells(grid, opts, argc, argv);
   const std::vector<runner::CellResult> cells =
-      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+      runner::ExperimentRunner(opts).run(grid);
 
   runner::ResultSink sink("fig15_capacity_sensitivity");
   sink.set_param("page", format_size(page));

@@ -53,8 +53,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  const runner::RunnerOptions opts =
+      bench::runner_options(argc, argv, "fig16_power");
+  bench::maybe_list_cells(grid, opts, argc, argv);
   const std::vector<runner::CellResult> cells =
-      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+      runner::ExperimentRunner(opts).run(grid);
 
   TextTable t({"Workload", "Size", "1K", "10K", "100K"});
   double min_ratio = 1e300;

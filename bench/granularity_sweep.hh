@@ -43,8 +43,10 @@ inline int run_granularity_sweep(int argc, char** argv, std::uint64_t interval,
     grid.push_back(cell(wk + "/static", wk, w, static_config(4 * MiB), n / 2));
   }
 
+  const runner::RunnerOptions opts = runner_options(argc, argv, bench_id);
+  maybe_list_cells(grid, opts, argc, argv);
   const std::vector<runner::CellResult> cells =
-      runner::ExperimentRunner(runner_options(argc, argv)).run(grid);
+      runner::ExperimentRunner(opts).run(grid);
 
   std::vector<std::string> header{"Workload"};
   for (const std::uint64_t page : pages) header.push_back(format_size(page));

@@ -58,8 +58,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  const runner::RunnerOptions opts =
+      bench::runner_options(argc, argv, "table4_effectiveness");
+  bench::maybe_list_cells(grid, opts, argc, argv);
   const std::vector<runner::CellResult> cells =
-      runner::ExperimentRunner(bench::runner_options(argc, argv)).run(grid);
+      runner::ExperimentRunner(opts).run(grid);
 
   runner::ResultSink sink("table4_effectiveness");
   sink.set_param("interval", interval);

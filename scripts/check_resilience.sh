@@ -3,7 +3,9 @@
 # HMM_SANITIZE=ON (address+undefined) and run every `resilience`-labeled
 # test plus the bench smoke runs, so the injected-fault paths — abort
 # rollback, wedge/watchdog, audit throws, runner retry — are ASan/UBSan
-# clean, not just green.
+# clean, not just green. The `durability` label (checkpoint/restore,
+# journal, crash-isolated cells) rides along: fork/waitpid reaping and the
+# snapshot codecs deserve the same sanitizer scrutiny.
 #
 # Usage: scripts/check_resilience.sh [build-dir]   (default: build-san)
 set -euo pipefail
@@ -14,5 +16,5 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . -DHMM_SANITIZE=ON >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" -L 'resilience|bench_smoke' -j "$JOBS" \
-      --output-on-failure
+ctest --test-dir "$BUILD_DIR" -L 'resilience|durability|bench_smoke' \
+      -j "$JOBS" --output-on-failure

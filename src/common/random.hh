@@ -76,6 +76,18 @@ class Pcg32 {
     return 1 + static_cast<std::uint64_t>(v);
   }
 
+  /// Raw generator state, for checkpoint/restore. Restoring Raw resumes
+  /// the stream exactly where it was captured.
+  struct Raw {
+    std::uint64_t state;
+    std::uint64_t inc;
+  };
+  [[nodiscard]] Raw raw() const noexcept { return {state_, inc_}; }
+  void set_raw(Raw r) noexcept {
+    state_ = r.state;
+    inc_ = r.inc;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

@@ -1,0 +1,227 @@
+// Versioned binary snapshot encoding with per-section CRC32 integrity.
+//
+// The durability layer (sim/checkpoint.hh, runner journal/supervisor)
+// serializes simulator state through these two classes. Goals:
+//   * platform-independent: explicit little-endian byte order, doubles as
+//     IEEE-754 bit patterns — a checkpoint restores bit-identically;
+//   * tamper/truncation evident: every section is [tag][size][payload][crc]
+//     and the reader verifies the CRC before handing out a single byte, so
+//     a torn write or flipped bit surfaces as SimError(Snapshot), never as
+//     a silently wrong simulation;
+//   * dependency-free: no third-party serialization library (the container
+//     must not grow deps), just a CRC32 table built at compile time.
+//
+// Sections are flat (no nesting) and must be read back in write order —
+// the format is a checkpoint, not an archive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/sim_error.hh"
+
+namespace hmm::snap {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+namespace detail {
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(const std::uint8_t* data,
+                                         std::size_t len,
+                                         std::uint32_t seed = 0) noexcept {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = detail::kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// Section tag: four printable bytes, e.g. "TTBL" for the translation table.
+[[nodiscard]] constexpr std::uint32_t tag(char a, char b, char c,
+                                          char d) noexcept {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+[[nodiscard]] inline std::string tag_name(std::uint32_t t) {
+  std::string s(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((t >> (8 * i)) & 0xFF);
+    s[static_cast<std::size_t>(i)] = (c >= 0x20 && c < 0x7F) ? c : '?';
+  }
+  return s;
+}
+
+[[noreturn]] inline void snapshot_error(const std::string& what) {
+  throw fault::SimError(fault::SimErrorKind::Snapshot, what);
+}
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(const std::uint8_t* data, std::size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+  }
+
+  /// Opens a section; all writes until end_section() become its payload.
+  void begin_section(std::uint32_t section_tag) {
+    if (open_) snapshot_error("nested snapshot sections are not supported");
+    open_ = true;
+    u32(section_tag);
+    size_pos_ = buf_.size();
+    u64(0);  // payload size, patched by end_section()
+  }
+
+  void end_section() {
+    if (!open_) snapshot_error("end_section without begin_section");
+    open_ = false;
+    const std::size_t payload_start = size_pos_ + 8;
+    const std::uint64_t payload_size = buf_.size() - payload_start;
+    for (int i = 0; i < 8; ++i)
+      buf_[size_pos_ + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((payload_size >> (8 * i)) & 0xFF);
+    u32(crc32(buf_.data() + payload_start, payload_size));
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  void le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i)
+      buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+
+  std::vector<std::uint8_t> buf_;
+  bool open_ = false;
+  std::size_t size_pos_ = 0;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    return static_cast<std::uint16_t>(le(2));
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    return static_cast<std::uint32_t>(le(4));
+  }
+  [[nodiscard]] std::uint64_t u64() { return le(8); }
+  [[nodiscard]] bool b() { return u8() != 0; }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  [[nodiscard]] std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Reads and validates the next section header; the CRC of the whole
+  /// payload is verified up front so later reads cannot see corrupt bytes.
+  void begin_section(std::uint32_t expected_tag) {
+    if (section_end_ != 0)
+      snapshot_error("begin_section inside an open section");
+    const std::uint32_t t = u32();
+    if (t != expected_tag)
+      snapshot_error("snapshot section mismatch: expected '" +
+                     tag_name(expected_tag) + "', found '" + tag_name(t) +
+                     "' (incompatible or reordered checkpoint)");
+    const std::uint64_t size = u64();
+    need(size + 4);
+    const std::uint32_t want =
+        crc32(data_ + pos_, static_cast<std::size_t>(size));
+    std::uint32_t got = 0;
+    for (int i = 0; i < 4; ++i)
+      got |= static_cast<std::uint32_t>(data_[pos_ + size +
+                                              static_cast<std::size_t>(i)])
+             << (8 * i);
+    if (want != got)
+      snapshot_error("CRC mismatch in section '" + tag_name(t) +
+                     "': checkpoint is corrupt or truncated");
+    section_end_ = pos_ + static_cast<std::size_t>(size);
+  }
+
+  void end_section() {
+    if (section_end_ == 0) snapshot_error("end_section without a section");
+    if (pos_ != section_end_)
+      snapshot_error("section payload not fully consumed (version skew)");
+    pos_ += 4;  // the already-verified CRC
+    section_end_ = 0;
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= len_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (pos_ + n > len_ || pos_ + n < pos_)
+      snapshot_error("snapshot truncated: need " + std::to_string(n) +
+                     " bytes at offset " + std::to_string(pos_));
+    if (section_end_ != 0 && pos_ + n > section_end_)
+      snapshot_error("read past the end of the current section");
+  }
+
+  std::uint64_t le(int n) {
+    need(static_cast<std::uint64_t>(n));
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += static_cast<std::size_t>(n);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  std::size_t section_end_ = 0;  ///< 0 = no section open
+};
+
+}  // namespace hmm::snap

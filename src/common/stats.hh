@@ -38,6 +38,21 @@ class RunningStat {
 
   void reset() noexcept { *this = RunningStat{}; }
 
+  /// Raw accumulator state for checkpoint/restore. min_/max_ sentinels are
+  /// preserved verbatim so a restored stat is bit-identical, not merely
+  /// equal under the count_==0 accessor masking.
+  struct Raw {
+    std::uint64_t count;
+    double sum, min, max;
+  };
+  [[nodiscard]] Raw raw() const noexcept { return {count_, sum_, min_, max_}; }
+  void set_raw(const Raw& r) noexcept {
+    count_ = r.count;
+    sum_ = r.sum;
+    min_ = r.min;
+    max_ = r.max;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -85,6 +100,12 @@ class Log2Histogram {
     buckets_.assign(kBuckets, 0);
     total_ = 0;
   }
+
+  /// Checkpoint/restore access to the raw bucket counts.
+  void set_bucket(unsigned i, std::uint64_t v) noexcept {
+    if (i < kBuckets) buckets_[i] = v;
+  }
+  void set_total(std::uint64_t t) noexcept { total_ = t; }
 
   static constexpr unsigned kBuckets = 40;
 

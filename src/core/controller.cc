@@ -128,4 +128,42 @@ std::string HeteroMemoryController::audit() const {
   return {};
 }
 
+void HeteroMemoryController::save(snap::Writer& w) const {
+  table_.save(w);
+  engine_.save(w);
+  slot_tracker_.save(w);
+  mq_.save(w);
+  oracle_.save(w);
+  w.begin_section(snap::tag('H', 'M', 'C', 'T'));
+  w.u64(stats_.accesses);
+  w.u64(stats_.on_package_hits);
+  w.u64(stats_.off_package_hits);
+  w.u64(stats_.fill_forwards);
+  w.u64(stats_.swap_attempts);
+  w.u64(stats_.swaps_rejected);
+  w.u64(stats_.os_stall_cycles);
+  w.u64(since_epoch_);
+  w.u64(pending_os_stall_);
+  w.end_section();
+}
+
+void HeteroMemoryController::restore(snap::Reader& r) {
+  table_.restore(r);
+  engine_.restore(r);
+  slot_tracker_.restore(r);
+  mq_.restore(r);
+  oracle_.restore(r);
+  r.begin_section(snap::tag('H', 'M', 'C', 'T'));
+  stats_.accesses = r.u64();
+  stats_.on_package_hits = r.u64();
+  stats_.off_package_hits = r.u64();
+  stats_.fill_forwards = r.u64();
+  stats_.swap_attempts = r.u64();
+  stats_.swaps_rejected = r.u64();
+  stats_.os_stall_cycles = r.u64();
+  since_epoch_ = r.u64();
+  pending_os_stall_ = r.u64();
+  r.end_section();
+}
+
 }  // namespace hmm

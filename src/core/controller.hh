@@ -103,6 +103,12 @@ class HeteroMemoryController {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ControllerConfig& config() const noexcept { return cfg_; }
 
+  /// Checkpoint/restore of the controller and everything it owns (table,
+  /// engine, trackers). The config is not serialized — the restoring side
+  /// must construct the controller with the same ControllerConfig.
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
+
  private:
   void consider_swap(Cycle now);
 

@@ -144,4 +144,57 @@ std::string MultiQueueTracker::validate() const {
   return {};
 }
 
+void SlotClockTracker::save(snap::Writer& w) const {
+  w.begin_section(snap::tag('C', 'L', 'C', 'K'));
+  w.u64(ref_.size());
+  for (const std::uint8_t b : ref_) w.u8(b);
+  for (const std::uint64_t c : counts_) w.u64(c);
+  w.u64(hand_);
+  w.end_section();
+}
+
+void SlotClockTracker::restore(snap::Reader& r) {
+  r.begin_section(snap::tag('C', 'L', 'C', 'K'));
+  const std::uint64_t n = r.u64();
+  ref_.assign(n, 0);
+  counts_.assign(n, 0);
+  for (std::uint8_t& b : ref_) b = r.u8();
+  for (std::uint64_t& c : counts_) c = r.u64();
+  hand_ = static_cast<SlotId>(r.u64());
+  r.end_section();
+}
+
+void MultiQueueTracker::save(snap::Writer& w) const {
+  w.begin_section(snap::tag('M', 'Q', 'T', 'R'));
+  w.u32(levels_);
+  w.u32(capacity_);
+  for (const auto& q : queues_) {
+    w.u64(q.size());
+    for (const Entry& e : q) {
+      w.u64(e.page);
+      w.u64(e.count);
+      w.u32(e.last_sub_block);
+    }
+  }
+  w.end_section();
+}
+
+void MultiQueueTracker::restore(snap::Reader& r) {
+  r.begin_section(snap::tag('M', 'Q', 'T', 'R'));
+  levels_ = r.u32();
+  capacity_ = r.u32();
+  queues_.assign(levels_, {});
+  index_.clear();
+  for (unsigned l = 0; l < levels_; ++l) {
+    queues_[l].resize(r.u64());
+    for (Entry& e : queues_[l]) {
+      e.page = r.u64();
+      e.count = r.u64();
+      e.last_sub_block = r.u32();
+    }
+    reindex(l);
+  }
+  r.end_section();
+}
+
 }  // namespace hmm

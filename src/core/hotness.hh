@@ -10,11 +10,14 @@
 //    in ablation experiments (not realizable in hardware at fine grain).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace hmm {
@@ -58,6 +61,9 @@ class SlotClockTracker {
   /// Hardware cost: one reference bit per slot.
   [[nodiscard]] std::uint64_t bits() const noexcept { return ref_.size(); }
 
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
+
  private:
   std::vector<std::uint8_t> ref_;
   std::vector<std::uint64_t> counts_;
@@ -98,6 +104,10 @@ class MultiQueueTracker {
   /// auditor; returns an error description or empty string.
   [[nodiscard]] std::string validate() const;
 
+  // Queues carry the full state; index_ is rebuilt on restore via reindex().
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
+
  private:
   struct Entry {
     PageId page = kInvalidPage;
@@ -131,7 +141,11 @@ class OracleTracker {
   [[nodiscard]] MultiQueueTracker::Hottest hottest() const noexcept {
     MultiQueueTracker::Hottest best;
     for (const auto& [p, e] : counts_) {
-      if (!best.found || e.first > best.epoch_count) {
+      // Ties break toward the smallest page id so the choice never depends
+      // on unordered_map iteration order (a restored map may hash into a
+      // different bucket layout than the one that was checkpointed).
+      if (!best.found || e.first > best.epoch_count ||
+          (e.first == best.epoch_count && p < best.page)) {
         best = {p, e.first, e.second, true};
       }
     }
@@ -139,6 +153,30 @@ class OracleTracker {
   }
   void reset_epoch() noexcept { counts_.clear(); }
   void erase(PageId p) noexcept { counts_.erase(p); }
+
+  void save(snap::Writer& w) const {
+    w.begin_section(snap::tag('O', 'R', 'C', 'L'));
+    std::vector<std::pair<PageId, std::pair<std::uint64_t, std::uint32_t>>>
+        v(counts_.begin(), counts_.end());
+    std::sort(v.begin(), v.end());
+    w.u64(v.size());
+    for (const auto& [p, e] : v) {
+      w.u64(p);
+      w.u64(e.first);
+      w.u32(e.second);
+    }
+    w.end_section();
+  }
+  void restore(snap::Reader& r) {
+    r.begin_section(snap::tag('O', 'R', 'C', 'L'));
+    counts_.clear();
+    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+      const PageId p = r.u64();
+      const std::uint64_t count = r.u64();
+      counts_[p] = {count, r.u32()};
+    }
+    r.end_section();
+  }
 
  private:
   std::unordered_map<PageId, std::pair<std::uint64_t, std::uint32_t>> counts_;

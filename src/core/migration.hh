@@ -153,6 +153,14 @@ class MigrationEngine {
                                                 std::uint32_t hot_sub_block,
                                                 SlotId cold_slot) const;
 
+  // --- checkpoint/restore --------------------------------------------------
+  // Serializes the full mid-swap state (remaining steps with their pending
+  // table mutations, chunk bookkeeping, in-flight chunk keys, retry
+  // counters). Request-id keys stay valid across restore because the DRAM
+  // systems serialize their id counters alongside.
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
+
  private:
   struct InFlightChunk {
     std::uint64_t chunk = 0;

@@ -1,6 +1,8 @@
 #include "core/translation_table.hh"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 #include "fault/sim_error.hh"
 
@@ -248,6 +250,79 @@ std::string TranslationTable::validate() const {
 std::uint64_t TranslationTable::table_bits() const noexcept {
   const unsigned id_bits = log2_floor(ceil_pow2(geom_.total_pages()));
   return static_cast<std::uint64_t>(slots_) * (id_bits + 2);
+}
+
+namespace {
+template <typename K, typename V>
+std::vector<std::pair<K, V>> sorted_entries(
+    const std::unordered_map<K, V>& m) {
+  std::vector<std::pair<K, V>> v(m.begin(), m.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+void TranslationTable::save(snap::Writer& w) const {
+  w.begin_section(snap::tag('T', 'T', 'B', 'L'));
+  w.u8(static_cast<std::uint8_t>(mode_));
+  w.u64(slots_);
+  w.u64(rows_.size());
+  for (const RowState& r : rows_) {
+    w.u64(r.occupant);
+    w.b(r.pending);
+  }
+  const auto cam = sorted_entries(slot_of_);
+  w.u64(cam.size());
+  for (const auto& [page, slot] : cam) {
+    w.u64(page);
+    w.u64(slot);
+  }
+  const auto loc = sorted_entries(location_);
+  w.u64(loc.size());
+  for (const auto& [page, mach] : loc) {
+    w.u64(page);
+    w.u64(mach);
+  }
+  w.b(empty_cache_.has_value());
+  w.u64(empty_cache_.value_or(0));
+  w.b(fill_active_);
+  w.u64(fill_slot_);
+  w.u64(fill_page_);
+  w.u64(fill_old_base_);
+  w.u64(fill_bitmap_.size());
+  for (const bool bit : fill_bitmap_) w.b(bit);
+  w.end_section();
+}
+
+void TranslationTable::restore(snap::Reader& r) {
+  r.begin_section(snap::tag('T', 'T', 'B', 'L'));
+  mode_ = static_cast<TableMode>(r.u8());
+  slots_ = r.u64();
+  rows_.assign(r.u64(), RowState{});
+  for (RowState& row : rows_) {
+    row.occupant = r.u64();
+    row.pending = r.b();
+  }
+  slot_of_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const PageId page = r.u64();
+    slot_of_[page] = static_cast<SlotId>(r.u64());
+  }
+  location_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const PageId page = r.u64();
+    location_[page] = r.u64();
+  }
+  const bool has_empty = r.b();
+  const SlotId empty = static_cast<SlotId>(r.u64());
+  empty_cache_ = has_empty ? std::optional<SlotId>(empty) : std::nullopt;
+  fill_active_ = r.b();
+  fill_slot_ = static_cast<SlotId>(r.u64());
+  fill_page_ = r.u64();
+  fill_old_base_ = r.u64();
+  fill_bitmap_.assign(r.u64(), false);
+  for (std::size_t i = 0; i < fill_bitmap_.size(); ++i) fill_bitmap_[i] = r.b();
+  r.end_section();
 }
 
 }  // namespace hmm

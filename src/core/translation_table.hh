@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 #include "core/geometry.hh"
 
@@ -119,6 +120,14 @@ class TranslationTable {
 
   /// Hardware cost of this table in bits (entry = id bits + P + F).
   [[nodiscard]] std::uint64_t table_bits() const noexcept;
+
+  // --- checkpoint/restore --------------------------------------------------
+  // The CAM map (slot_of_) is serialized explicitly rather than rebuilt
+  // from rows_: mid-choreography a page can transiently appear in two rows
+  // and only the CAM records which one wins. Maps are written sorted by
+  // key so the encoding is independent of unordered_map iteration order.
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
 
  private:
   struct RowState {

@@ -13,6 +13,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/address_mapping.hh"
@@ -74,6 +75,12 @@ class DramChannel {
     return busy_cycles_;
   }
   void reset_stats();
+
+  /// Checkpoint/restore of all timing state: banks, queue (with decoded
+  /// coordinates), bus reservations, clocks, pending completions, stats.
+  /// Nothing is quiesced — in-flight work resumes exactly where it was.
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
 
  private:
   struct Bank {

@@ -75,6 +75,12 @@ class DramSystem {
   [[nodiscard]] std::uint64_t background_bytes() const;
   void reset_stats();
 
+  /// Checkpoint/restore: the id counter plus every channel's state. The
+  /// region/timing/mapping are construction-time constants and are only
+  /// cross-checked, not restored.
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
+
  private:
   Region region_;
   DramTiming timing_;

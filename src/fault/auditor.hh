@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 #include "fault/sim_error.hh"
 
@@ -43,6 +44,23 @@ class InvariantAuditor {
   void audit();
 
   [[nodiscard]] std::uint64_t audits() const noexcept { return audits_; }
+
+  void save(snap::Writer& w) const {
+    w.begin_section(snap::tag('A', 'U', 'D', 'T'));
+    w.u64(since_audit_);
+    w.u64(audits_);
+    w.u64(last_fill_page_);
+    w.u32(last_fill_ready_);
+    w.end_section();
+  }
+  void restore(snap::Reader& r) {
+    r.begin_section(snap::tag('A', 'U', 'D', 'T'));
+    since_audit_ = r.u64();
+    audits_ = r.u64();
+    last_fill_page_ = r.u64();
+    last_fill_ready_ = r.u32();
+    r.end_section();
+  }
 
  private:
   const TranslationTable& table_;

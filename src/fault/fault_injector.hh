@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace hmm::fault {
@@ -149,6 +150,57 @@ class FaultInjector {
   }
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
+  }
+
+  /// Checkpoint/restore of the dynamic state (opportunity counters, fire
+  /// counts, site RNG streams, event log). The plan itself is not
+  /// serialized — the restoring side constructs with the same FaultPlan.
+  void save(snap::Writer& w) const {
+    w.begin_section(snap::tag('F', 'I', 'N', 'J'));
+    w.u32(kFaultSiteCount);
+    for (const SiteState& st : sites_) {
+      w.u64(st.opportunities);
+      w.u64(st.fires);
+      const Pcg32::Raw raw = st.rng.raw();
+      w.u64(raw.state);
+      w.u64(raw.inc);
+    }
+    const Pcg32::Raw p = payload_rng_.raw();
+    w.u64(p.state);
+    w.u64(p.inc);
+    w.u64(total_fires_);
+    w.u64(events_.size());
+    for (const FaultEvent& e : events_) {
+      w.u8(static_cast<std::uint8_t>(e.site));
+      w.u64(e.opportunity);
+      w.u64(e.detail);
+    }
+    w.end_section();
+  }
+  void restore(snap::Reader& r) {
+    r.begin_section(snap::tag('F', 'I', 'N', 'J'));
+    if (r.u32() != kFaultSiteCount)
+      snap::snapshot_error("fault-site count mismatch in checkpoint");
+    for (SiteState& st : sites_) {
+      st.opportunities = r.u64();
+      st.fires = r.u64();
+      Pcg32::Raw raw;
+      raw.state = r.u64();
+      raw.inc = r.u64();
+      st.rng.set_raw(raw);
+    }
+    Pcg32::Raw p;
+    p.state = r.u64();
+    p.inc = r.u64();
+    payload_rng_.set_raw(p);
+    total_fires_ = r.u64();
+    events_.assign(r.u64(), FaultEvent{});
+    for (FaultEvent& e : events_) {
+      e.site = static_cast<FaultSite>(r.u8());
+      e.opportunity = r.u64();
+      e.detail = r.u64();
+    }
+    r.end_section();
   }
 
  private:

@@ -20,6 +20,7 @@ enum class SimErrorKind : unsigned char {
   AuditFailed,  ///< the periodic invariant audit found corruption
   Watchdog,     ///< simulated time can no longer advance (wedged swap)
   Timeout,      ///< the cell exceeded its wall-clock budget
+  Snapshot,     ///< a checkpoint failed to encode, decode, or verify
 };
 
 [[nodiscard]] constexpr const char* to_string(SimErrorKind k) noexcept {
@@ -28,6 +29,7 @@ enum class SimErrorKind : unsigned char {
     case SimErrorKind::AuditFailed: return "audit";
     case SimErrorKind::Watchdog: return "watchdog";
     case SimErrorKind::Timeout: return "timeout";
+    case SimErrorKind::Snapshot: return "snapshot";
   }
   return "?";
 }

@@ -66,13 +66,23 @@ struct CellResult {
   std::uint64_t seed = 0;
   bool ok = false;
   std::string error;
-  /// "ok", "failed", or "timeout" — the classified outcome of the last
-  /// attempt (SimError kinds map timeout explicitly; everything else that
-  /// throws is "failed").
+  /// Classified outcome of the last attempt:
+  ///   "ok"          — completed, metrics valid
+  ///   "failed"      — job threw (SimError other than Timeout, or any
+  ///                   std::exception)
+  ///   "timeout"     — exceeded the cell wall-clock budget
+  ///   "crashed"     — isolated cell process killed by a signal (SIGSEGV...)
+  ///   "error"       — isolated cell process exited abnormally (abort, OOM)
+  ///   "interrupted" — sweep stopped by SIGINT/SIGTERM; a checkpoint was
+  ///                   saved if checkpointing is enabled, and the cell is
+  ///                   never journaled, so --resume finishes it
   std::string status = "failed";
   unsigned attempts = 0;  ///< 1 normally; 2 when the cell was retried
   double wall_seconds = 0;  ///< non-deterministic; excluded from comparisons
   RunResult result;
+  /// True when this cell was replayed verbatim from a sweep journal
+  /// (--resume) instead of being executed. Metrics are the recorded ones.
+  bool resumed = false;
 };
 
 }  // namespace hmm::runner

@@ -1,0 +1,70 @@
+// Sweep journal: durable record of completed cells, one JSONL line each.
+//
+// Every classified cell (ok / failed / timeout / crashed — never an
+// interrupted one) is appended as
+//   {"key":"fig13/FT/64KB","status":"ok","blob":"<hex>"}
+// where `blob` is the hex-encoded CRC-framed binary CellResult. The key
+// and status fields exist for humans and shell tooling (`grep`, `wc -l`);
+// the blob alone carries the data, so --resume replays recorded cells
+// with bit-identical metrics and no JSON parser is needed (the repo
+// deliberately has none).
+//
+// Durability: each append rewrites the whole file via tmp + fsync +
+// rename — a SIGKILL between cells leaves either the previous or the new
+// complete journal, never a torn line. Loading still tolerates a
+// truncated tail (a journal written by a future crashed-while-writing
+// implementation) by stopping at the first undecodable line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/snapshot.hh"
+#include "runner/experiment.hh"
+
+namespace hmm::runner {
+
+/// Serializes a CellResult (including its full RunResult) as one
+/// CRC-framed snapshot section. Doubles travel as raw IEEE-754 bits, so
+/// decode(encode(c)) reproduces every metric bit-exactly.
+void encode_cell(snap::Writer& w, const CellResult& cell);
+[[nodiscard]] CellResult decode_cell(snap::Reader& r);
+
+/// Hex transport for blobs (lowercase, no separators).
+[[nodiscard]] std::string to_hex(const std::vector<std::uint8_t>& bytes);
+/// Returns false on odd length or a non-hex digit.
+[[nodiscard]] bool from_hex(const std::string& hex,
+                            std::vector<std::uint8_t>& out);
+
+/// Cell key -> filesystem-safe checkpoint file stem ('/' and other
+/// non-portable characters become '_').
+[[nodiscard]] std::string sanitize_key(const std::string& key);
+
+class Journal {
+ public:
+  /// Binds to `path` and loads any existing journal. `path` may be empty,
+  /// which turns every operation into a no-op (journaling disabled).
+  explicit Journal(std::string path);
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Cells recovered from the file at construction, in journal order.
+  [[nodiscard]] const std::vector<CellResult>& recovered() const noexcept {
+    return recovered_;
+  }
+
+  /// Appends one completed cell and makes the journal durable (atomic
+  /// whole-file rewrite + fsync). Returns false on I/O failure.
+  bool append(const CellResult& cell);
+
+  /// Deletes the journal file (sweep fully complete).
+  void remove() noexcept;
+
+ private:
+  std::string path_;
+  std::vector<std::string> lines_;  ///< rendered lines incl. recovered ones
+  std::vector<CellResult> recovered_;
+};
+
+}  // namespace hmm::runner

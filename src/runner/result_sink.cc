@@ -2,11 +2,12 @@
 
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/stats.hh"
 #include "runner/json.hh"
+#include "sim/checkpoint.hh"
 
 namespace hmm::runner {
 
@@ -37,19 +38,27 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
   std::filesystem::create_directories(dir, ec);
   if (ec) return "";
   const std::string path = dir + "/" + bench_ + ".json";
-  std::ofstream os(path);
-  if (!os) return "";
+  // Render to memory first: the file itself is written atomically (tmp +
+  // fsync + rename), so a crash mid-sweep can never leave a torn artifact
+  // that a later --resume comparison would choke on.
+  std::ostringstream os;
 
   // Cross-cell aggregation (exercises the stats merge path): latency and
   // per-job wall-time summaries over the successful cells.
   RunningStat lat, wall;
   std::uint64_t failed = 0;
   std::uint64_t retried = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t interrupted = 0;
+  std::uint64_t resumed = 0;
   for (const CellResult& c : cells) {
     RunningStat one;
     one.add(c.wall_seconds);
     wall.merge(one);
     if (c.attempts > 1) ++retried;
+    if (c.resumed) ++resumed;
+    if (c.status == "crashed" || c.status == "error") ++crashed;
+    if (c.status == "interrupted") ++interrupted;
     if (!c.ok) {
       ++failed;
       continue;
@@ -60,7 +69,7 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
   JsonWriter j(os);
   j.begin_object();
   j.kv("bench", bench_);
-  j.kv("schema_version", 2);
+  j.kv("schema_version", 3);
   j.key("params").begin_object();
   for (const auto& [k, v] : params_) j.kv(k, v);
   j.end_object();
@@ -73,6 +82,7 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
     j.kv("ok", c.ok);
     j.kv("status", c.status);
     j.kv("attempts", static_cast<std::uint64_t>(c.attempts));
+    if (c.resumed) j.kv("resumed", true);
     if (!c.ok) j.kv("error", c.error);
     j.kv("wall_seconds", c.wall_seconds);  // non-deterministic by nature
     if (c.ok) {
@@ -127,6 +137,9 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
   j.kv("cells", static_cast<std::uint64_t>(cells.size()));
   j.kv("failed", failed);
   j.kv("retried", retried);
+  j.kv("crashed", crashed);
+  j.kv("interrupted", interrupted);
+  j.kv("resumed", resumed);
   if (lat.count() > 0) {
     j.kv("avg_latency_mean", lat.mean());
     j.kv("avg_latency_min", lat.min());
@@ -135,6 +148,8 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
   j.kv("wall_seconds_total", wall.sum());  // non-deterministic
   j.end_object();
   j.end_object();
+  const std::string body = os.str();
+  if (!atomic_write_file(path, body.data(), body.size())) return "";
   return path;
 }
 

@@ -1,18 +1,29 @@
 #include "runner/runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "fault/sim_error.hh"
+#include "runner/journal.hh"
+#include "runner/supervisor.hh"
 #include "runner/thread_pool.hh"
+#include "sim/checkpoint.hh"
 
 namespace hmm::runner {
 
 namespace {
+
+/// Internal control-flow signal: the sweep interrupt flag rose mid-cell
+/// and (when checkpointing is on) a checkpoint has been saved. Caught in
+/// attempt(), never escapes the runner.
+struct InterruptedRun {};
 
 [[nodiscard]] unsigned resolve_jobs(unsigned requested) {
   if (requested > 0) return requested;
@@ -28,6 +39,24 @@ namespace {
   return v > 0 ? v : 0;
 }
 
+[[nodiscard]] double resolve_checkpoint_interval(double requested) {
+  if (requested >= 0) return requested;
+  const char* env = std::getenv("HMM_CKPT_INTERVAL");
+  if (env == nullptr || *env == '\0') return 30;
+  const double v = std::atof(env);
+  return v > 0 ? v : 0;
+}
+
+[[nodiscard]] CellResult unstarted_interrupted(const ExperimentSpec& spec) {
+  CellResult cell;
+  cell.key = spec.key;
+  cell.ok = false;
+  cell.status = "interrupted";
+  cell.error = "sweep interrupted before this cell started";
+  cell.attempts = 0;
+  return cell;
+}
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(RunnerOptions opts)
@@ -35,7 +64,13 @@ ExperimentRunner::ExperimentRunner(RunnerOptions opts)
       base_seed_(opts.base_seed),
       observer_(opts.observer),
       cell_timeout_(resolve_cell_timeout(opts.cell_timeout_seconds)),
-      retry_failed_(opts.retry_failed) {}
+      retry_failed_(opts.retry_failed),
+      isolation_(opts.isolation),
+      journal_path_(std::move(opts.journal_path)),
+      resume_(opts.resume),
+      checkpoint_dir_(std::move(opts.checkpoint_dir)),
+      checkpoint_interval_(
+          resolve_checkpoint_interval(opts.checkpoint_interval_seconds)) {}
 
 RunResult ExperimentRunner::replay(const ExperimentSpec& spec,
                                    std::uint64_t seed) {
@@ -54,24 +89,98 @@ RunResult ExperimentRunner::replay(const ExperimentSpec& spec,
   return sim.result();
 }
 
+RunResult ExperimentRunner::durable_replay(const ExperimentSpec& spec,
+                                           std::uint64_t seed,
+                                           const std::string& ckpt_path) const {
+  MemSim sim(spec.config);
+  auto gen = spec.workload.make(seed);
+  const auto warm = static_cast<std::uint64_t>(
+      static_cast<double>(spec.accesses) * spec.warmup_fraction);
+
+  const std::uint64_t fp =
+      checkpoint_fingerprint(spec.key, seed, spec.accesses);
+  CheckpointMeta meta{fp, 0, false};
+  bool restored = false;
+  if (!ckpt_path.empty()) {
+    if (const auto m = load_checkpoint(ckpt_path, fp, *gen, sim)) {
+      meta = *m;
+      restored = true;
+    }
+  }
+  // Fresh run: arm the warm-up fast-forward replay() would arm. A restored
+  // run gets the flag back from the engine snapshot instead.
+  if (!restored && warm > 0 && spec.instant_warmup)
+    sim.controller().set_instant_migration(true);
+
+  // The loop below replays exactly replay()'s sequence, in interruptible
+  // chunks:   run(warm)         == chunks to `warm` + finish()
+  //           reset boundary    == set_instant(false) + reset_stats()
+  //           run(total - warm) == chunks to `accesses` + finish()
+  //           finish()          == the final explicit drain
+  constexpr std::uint64_t kChunk = 1024;
+  auto last_ckpt = std::chrono::steady_clock::now();
+  while (meta.accesses_done < spec.accesses ||
+         (warm > 0 && !meta.stats_reset_done)) {
+    if (interrupt_requested()) {
+      if (!ckpt_path.empty()) save_checkpoint(ckpt_path, meta, *gen, sim);
+      throw InterruptedRun{};
+    }
+    if (warm > 0 && !meta.stats_reset_done && meta.accesses_done >= warm) {
+      sim.finish();
+      sim.controller().set_instant_migration(false);
+      sim.reset_stats();
+      meta.stats_reset_done = true;
+      continue;
+    }
+    const std::uint64_t target =
+        (warm > 0 && !meta.stats_reset_done) ? warm : spec.accesses;
+    const std::uint64_t n = std::min(kChunk, target - meta.accesses_done);
+    sim.run_chunk(*gen, n);
+    meta.accesses_done += n;
+    if (!ckpt_path.empty() && checkpoint_interval_ > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_ckpt).count() >=
+          checkpoint_interval_) {
+        save_checkpoint(ckpt_path, meta, *gen, sim);
+        last_ckpt = now;
+      }
+    }
+  }
+  sim.finish();
+  sim.finish();
+  return sim.result();
+}
+
+std::string ExperimentRunner::checkpoint_path(
+    const ExperimentSpec& spec) const {
+  if (checkpoint_dir_.empty() || spec.job) return {};
+  return checkpoint_dir_ + "/" + sanitize_key(spec.key) + ".ckpt";
+}
+
 CellResult ExperimentRunner::attempt(const ExperimentSpec& spec,
-                                     std::uint64_t seed) const {
+                                     std::uint64_t seed,
+                                     const std::string& ckpt_path) const {
   CellResult cell;
   cell.key = spec.key;
   cell.seed = seed;
   const auto t0 = std::chrono::steady_clock::now();
   try {
     if (spec.job) {
+      if (interrupt_requested()) throw InterruptedRun{};
       cell.result = spec.job(seed);
     } else if (cell_timeout_ > 0 && spec.config.max_wall_seconds <= 0) {
       ExperimentSpec bounded = spec;
       bounded.config.max_wall_seconds = cell_timeout_;
-      cell.result = replay(bounded, seed);
+      cell.result = durable_replay(bounded, seed, ckpt_path);
     } else {
-      cell.result = replay(spec, seed);
+      cell.result = durable_replay(spec, seed, ckpt_path);
     }
     cell.ok = true;
     cell.status = "ok";
+  } catch (const InterruptedRun&) {
+    cell.status = "interrupted";
+    cell.error = ckpt_path.empty() ? "interrupted"
+                                   : "interrupted (checkpoint saved)";
   } catch (const fault::SimError& e) {
     cell.error = e.what();
     cell.status =
@@ -92,17 +201,21 @@ CellResult ExperimentRunner::attempt(const ExperimentSpec& spec,
 CellResult ExperimentRunner::execute(const ExperimentSpec& spec) const {
   const std::uint64_t seed = derive_seed(
       base_seed_, spec.seed_key.empty() ? spec.key : spec.seed_key);
-  CellResult cell = attempt(spec, seed);
+  const std::string ckpt = checkpoint_path(spec);
+  CellResult cell = attempt(spec, seed, ckpt);
   cell.attempts = 1;
-  if (!cell.ok && retry_failed_) {
+  if (!cell.ok && cell.status != "interrupted" && retry_failed_) {
     // One more try with the identical seed: a transient host effect (e.g.
     // a timeout on a loaded machine) clears, a deterministic failure
     // reproduces — either way the outcome is informative.
     const double first_wall = cell.wall_seconds;
-    cell = attempt(spec, seed);
+    cell = attempt(spec, seed, ckpt);
     cell.attempts = 2;
     cell.wall_seconds += first_wall;
   }
+  // An interrupted cell keeps its checkpoint for --resume; any terminal
+  // outcome makes the checkpoint stale.
+  if (!ckpt.empty() && cell.status != "interrupted") remove_checkpoint(ckpt);
   return cell;
 }
 
@@ -111,31 +224,84 @@ std::vector<CellResult> ExperimentRunner::run(
   const auto sweep_start = std::chrono::steady_clock::now();
   std::vector<CellResult> results(grid.size());
   RunningStat wall;
+  std::size_t done = 0;
   if (observer_) observer_->on_start(grid.size(), jobs_);
 
-  if (jobs_ <= 1 || grid.size() <= 1) {
+  std::error_code ec;
+  if (!journal_path_.empty()) {
+    const auto parent = std::filesystem::path(journal_path_).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  }
+  Journal journal(journal_path_);
+  if (!checkpoint_dir_.empty())
+    std::filesystem::create_directories(checkpoint_dir_, ec);
+
+  // Resume: cells already journaled come back verbatim (bit-identical
+  // metrics), everything else lands on the todo list.
+  std::unordered_map<std::string, const CellResult*> recorded;
+  if (resume_)
+    for (const CellResult& c : journal.recovered()) recorded[c.key] = &c;
+  std::vector<std::size_t> todo;
+  todo.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto it = recorded.find(grid[i].key);
+    if (it != recorded.end()) {
+      results[i] = *it->second;
+      results[i].resumed = true;
+      ++done;
+      if (observer_) observer_->on_cell_done(results[i], done, grid.size());
+    } else {
+      todo.push_back(i);
+    }
+  }
+
+  // Completion bookkeeping, shared by every execution path. Single-threaded
+  // everywhere except the thread-pool path, which serializes through a
+  // mutex before calling in.
+  const auto complete = [&](std::size_t i, CellResult cell) {
+    if (cell.status != "interrupted") journal.append(cell);
+    wall.add(cell.wall_seconds);
+    results[i] = std::move(cell);
+    ++done;
+    if (observer_) observer_->on_cell_done(results[i], done, grid.size());
+  };
+
+  const bool use_process = isolation_ == Isolation::Process &&
+                           process_isolation_available() && jobs_ > 1;
+  if (use_process) {
+    // The parent runs no worker threads in this mode, so every fork()
+    // happens from a single-threaded process.
+    Supervisor sup({jobs_, cell_timeout_});
+    sup.run(
+        grid, todo, [this, &grid](std::size_t i) { return execute(grid[i]); },
+        complete);
+  } else if (jobs_ <= 1 || todo.size() <= 1) {
     // Inline serial path: the exact pre-runner bench loop.
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      results[i] = execute(grid[i]);
-      wall.add(results[i].wall_seconds);
-      if (observer_) observer_->on_cell_done(results[i], i + 1, grid.size());
+    for (const std::size_t i : todo) {
+      complete(i, interrupt_requested() ? unstarted_interrupted(grid[i])
+                                        : execute(grid[i]));
     }
   } else {
     ThreadPool pool(jobs_);
     std::mutex done_mu;  // serializes completion bookkeeping + callbacks
-    std::size_t done = 0;
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      pool.submit([this, &grid, &results, &wall, &done_mu, &done, i] {
-        CellResult cell = execute(grid[i]);
+    for (const std::size_t i : todo) {
+      pool.submit([this, &grid, &complete, &done_mu, i] {
+        CellResult cell = interrupt_requested()
+                              ? unstarted_interrupted(grid[i])
+                              : execute(grid[i]);
         const std::lock_guard<std::mutex> lock(done_mu);
-        wall.add(cell.wall_seconds);
-        results[i] = std::move(cell);
-        ++done;
-        if (observer_) observer_->on_cell_done(results[i], done, grid.size());
+        complete(i, std::move(cell));
       });
     }
     pool.wait_idle();
   }
+
+  // The journal has served its purpose once every cell is terminal; keep
+  // it only when something was interrupted (that is what --resume reads).
+  bool any_interrupted = false;
+  for (const CellResult& c : results)
+    if (c.status == "interrupted") any_interrupted = true;
+  if (journal.enabled() && !any_interrupted) journal.remove();
 
   if (observer_) {
     const double elapsed = std::chrono::duration<double>(

@@ -22,6 +22,15 @@
 
 namespace hmm::runner {
 
+/// How cells are executed relative to the supervising process.
+enum class Isolation {
+  InProcess,  ///< thread pool (or inline) in this process — PR 1 behaviour
+  /// fork() one child per cell: a SIGSEGV/abort/OOM in a cell becomes a
+  /// "crashed"/"error" row instead of killing the sweep. Requires POSIX
+  /// and jobs > 1; otherwise falls back to InProcess.
+  Process,
+};
+
 struct RunnerOptions {
   unsigned jobs = 0;  ///< worker threads; 0 = hardware concurrency, 1 = inline
   std::uint64_t base_seed = 42;          ///< mixed into every cell seed
@@ -34,6 +43,22 @@ struct RunnerOptions {
   /// effects — e.g. a timeout on a loaded machine — get a second chance;
   /// a deterministic failure reproduces exactly).
   bool retry_failed = true;
+  // --- durability (fields appended; callers use designated initializers) ---
+  /// Crash isolation mode; Process needs POSIX fork() and jobs > 1.
+  Isolation isolation = Isolation::InProcess;
+  /// JSONL journal of completed cells; empty = journaling disabled. With a
+  /// journal, an interrupted/killed sweep rerun with `resume = true` skips
+  /// every journaled cell and replays its recorded metrics bit-identically.
+  std::string journal_path = {};
+  /// Skip cells already recorded in `journal_path` (marked `resumed`).
+  bool resume = false;
+  /// Directory for per-cell checkpoint files (<dir>/<key>.ckpt); empty =
+  /// checkpointing disabled. A checkpoint is written on SIGINT/SIGTERM and
+  /// every `checkpoint_interval_seconds`, and deleted when the cell ends.
+  std::string checkpoint_dir = {};
+  /// Periodic auto-checkpoint cadence in seconds; 0 = only on interrupt,
+  /// < 0 = read HMM_CKPT_INTERVAL (unset -> 30 s).
+  double checkpoint_interval_seconds = -1;
 };
 
 class ExperimentRunner {
@@ -56,13 +81,27 @@ class ExperimentRunner {
  private:
   [[nodiscard]] CellResult execute(const ExperimentSpec& spec) const;
   [[nodiscard]] CellResult attempt(const ExperimentSpec& spec,
-                                   std::uint64_t seed) const;
+                                   std::uint64_t seed,
+                                   const std::string& ckpt_path) const;
+  /// replay() with durability: chunked access loop that polls the sweep
+  /// interrupt flag, restores `ckpt_path` when present, and checkpoints
+  /// periodically and on interrupt. Bit-identical to replay() when it
+  /// runs to completion (interrupted or not, across any restore).
+  [[nodiscard]] RunResult durable_replay(const ExperimentSpec& spec,
+                                         std::uint64_t seed,
+                                         const std::string& ckpt_path) const;
+  [[nodiscard]] std::string checkpoint_path(const ExperimentSpec& spec) const;
 
   unsigned jobs_;
   std::uint64_t base_seed_;
   ProgressObserver* observer_;
   double cell_timeout_;
   bool retry_failed_;
+  Isolation isolation_;
+  std::string journal_path_;
+  bool resume_;
+  std::string checkpoint_dir_;
+  double checkpoint_interval_;
 };
 
 }  // namespace hmm::runner

@@ -177,11 +177,15 @@ void MemSim::step(const TraceRecord& r) {
 }
 
 void MemSim::run(SyntheticWorkload& workload, std::uint64_t n) {
+  run_chunk(workload, n);
+  finish();
+}
+
+void MemSim::run_chunk(SyntheticWorkload& workload, std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) {
     step(workload.next());
     if ((++deadline_check_ & 1023u) == 0) check_deadline();
   }
-  finish();
 }
 
 void MemSim::finish() {
@@ -264,6 +268,105 @@ RunResult MemSim::result() const {
   r.energy_off_only_pj =
       EnergyModel::off_only_pj(on_.demand_bytes() + off_.demand_bytes());
   return r;
+}
+
+namespace {
+void save_demand_map(
+    snap::Writer& w,
+    const std::unordered_map<RequestId, MemSim::Outstanding>& m) {
+  std::vector<std::pair<RequestId, MemSim::Outstanding>> v(m.begin(),
+                                                           m.end());
+  std::sort(v.begin(), v.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(v.size());
+  for (const auto& [id, o] : v) {
+    w.u64(id);
+    w.u64(o.issued);
+    w.u64(o.extra);
+    w.b(o.is_read);
+  }
+}
+
+void load_demand_map(snap::Reader& r,
+                     std::unordered_map<RequestId, MemSim::Outstanding>& m) {
+  m.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const RequestId id = r.u64();
+    MemSim::Outstanding o;
+    o.issued = r.u64();
+    o.extra = r.u64();
+    o.is_read = r.b();
+    m.emplace(id, o);
+  }
+}
+
+void save_stat(snap::Writer& w, const RunningStat& s) {
+  const RunningStat::Raw raw = s.raw();
+  w.u64(raw.count);
+  w.f64(raw.sum);
+  w.f64(raw.min);
+  w.f64(raw.max);
+}
+
+void load_stat(snap::Reader& r, RunningStat& s) {
+  RunningStat::Raw raw;
+  raw.count = r.u64();
+  raw.sum = r.f64();
+  raw.min = r.f64();
+  raw.max = r.f64();
+  s.set_raw(raw);
+}
+}  // namespace
+
+void MemSim::save(snap::Writer& w) const {
+  on_.save(w);
+  off_.save(w);
+  ctl_.save(w);
+  injector_.save(w);
+  auditor_.save(w);
+  w.begin_section(snap::tag('M', 'S', 'I', 'M'));
+  w.u64(deadline_check_);
+  save_demand_map(w, demand_on_);
+  save_demand_map(w, demand_off_);
+  w.u64(slip_);
+  w.u64(last_now_);
+  w.u64(end_time_);
+  w.u64(blocked_until_);
+  save_stat(w, latency_);
+  save_stat(w, read_latency_);
+  save_stat(w, write_latency_);
+  save_stat(w, on_latency_);
+  save_stat(w, off_latency_);
+  for (unsigned i = 0; i < Log2Histogram::kBuckets; ++i)
+    w.u64(latency_hist_.bucket(i));
+  w.u64(latency_hist_.total());
+  w.end_section();
+}
+
+void MemSim::restore(snap::Reader& r) {
+  on_.restore(r);
+  off_.restore(r);
+  ctl_.restore(r);
+  injector_.restore(r);
+  auditor_.restore(r);
+  r.begin_section(snap::tag('M', 'S', 'I', 'M'));
+  deadline_check_ = r.u64();
+  load_demand_map(r, demand_on_);
+  load_demand_map(r, demand_off_);
+  slip_ = r.u64();
+  last_now_ = r.u64();
+  end_time_ = r.u64();
+  blocked_until_ = r.u64();
+  load_stat(r, latency_);
+  load_stat(r, read_latency_);
+  load_stat(r, write_latency_);
+  load_stat(r, on_latency_);
+  load_stat(r, off_latency_);
+  for (unsigned i = 0; i < Log2Histogram::kBuckets; ++i)
+    latency_hist_.set_bucket(i, r.u64());
+  latency_hist_.set_total(r.u64());
+  r.end_section();
+  started_ = std::chrono::steady_clock::now();
 }
 
 }  // namespace hmm

@@ -48,6 +48,11 @@ class MemSim {
 
   /// Replays `n` references from the generator; callable repeatedly.
   void run(SyntheticWorkload& workload, std::uint64_t n);
+  /// Like run() but without the implicit finish(): replays exactly `n`
+  /// references and returns. run(w, n) == run_chunk(w, n) + finish(), so a
+  /// run interleaved with checkpoints replays the same step sequence as an
+  /// uninterrupted one.
+  void run_chunk(SyntheticWorkload& workload, std::uint64_t n);
   /// Single-record entry point (tests / custom drivers).
   void step(const TraceRecord& r);
   /// Completes all in-flight work; call before reading results.
@@ -69,6 +74,24 @@ class MemSim {
     return auditor_;
   }
 
+  /// Checkpoint/restore of the complete simulator state. The restoring
+  /// side must construct MemSim with the same MemSimConfig; save() covers
+  /// everything that evolves after construction (controller + table +
+  /// engine + trackers, both DRAM systems, injector, auditor, demand
+  /// bookkeeping, pacing clocks, latency stats). The wall-clock deadline
+  /// intentionally restarts at restore time: a resumed cell gets a fresh
+  /// budget rather than inheriting elapsed time from a dead process.
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
+
+  /// Demand bookkeeping: system-unique request id -> issue context.
+  /// (Public only so the checkpoint codec can name the type.)
+  struct Outstanding {
+    Cycle issued = 0;
+    Cycle extra = 0;
+    bool is_read = true;
+  };
+
  private:
   void pump(Cycle now);
   Cycle force_migration_idle(Cycle now);
@@ -88,12 +111,6 @@ class MemSim {
   std::chrono::steady_clock::time_point started_;
   std::uint64_t deadline_check_ = 0;
 
-  /// Demand bookkeeping: system-unique request id -> issue context.
-  struct Outstanding {
-    Cycle issued = 0;
-    Cycle extra = 0;
-    bool is_read = true;
-  };
   std::unordered_map<RequestId, Outstanding> demand_on_;
   std::unordered_map<RequestId, Outstanding> demand_off_;
 

@@ -45,4 +45,34 @@ TraceRecord SyntheticWorkload::next() {
   return r;
 }
 
+void SyntheticWorkload::save(snap::Writer& w) const {
+  w.begin_section(snap::tag('W', 'K', 'L', 'D'));
+  const Pcg32::Raw raw = rng_.raw();
+  w.u64(raw.state);
+  w.u64(raw.inc);
+  w.u64(now_);
+  w.u64(emitted_);
+  w.u32(rr_cpu_);
+  w.u64(comps_.size());
+  for (const MixtureComponent& c : comps_) c.pattern->save_state(w);
+  w.end_section();
+}
+
+void SyntheticWorkload::restore(snap::Reader& r) {
+  r.begin_section(snap::tag('W', 'K', 'L', 'D'));
+  Pcg32::Raw raw;
+  raw.state = r.u64();
+  raw.inc = r.u64();
+  rng_.set_raw(raw);
+  now_ = r.u64();
+  emitted_ = r.u64();
+  rr_cpu_ = r.u32();
+  if (r.u64() != comps_.size())
+    snap::snapshot_error(
+        "workload mixture shape mismatch: checkpoint was taken on a "
+        "different workload");
+  for (MixtureComponent& c : comps_) c.pattern->restore_state(r);
+  r.end_section();
+}
+
 }  // namespace hmm

@@ -52,6 +52,12 @@ class SyntheticWorkload {
   }
   [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
 
+  /// Checkpoint/restore of the generator cursor (RNG, clock, emit count)
+  /// and each component pattern's mutable state. The mixture itself must
+  /// be rebuilt identically (same workload + seed) before restoring.
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
+
  private:
   Params p_;
   std::vector<MixtureComponent> comps_;

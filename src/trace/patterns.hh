@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/random.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 #include "common/units.hh"
 #include "trace/zipf.hh"
@@ -20,6 +21,13 @@ class Pattern {
   virtual PhysAddr next(Pcg32& rng) = 0;
   /// Phase boundary: patterns with time-varying hot sets drift here.
   virtual void on_phase(Pcg32& rng) { (void)rng; }
+
+  /// Checkpoint/restore of the pattern's mutable cursor state. Stateless
+  /// patterns (UniformPattern) keep the no-op default. Construction-time
+  /// parameters are not serialized — the restoring side rebuilds the same
+  /// workload first, then overlays the cursors.
+  virtual void save_state(snap::Writer& w) const { (void)w; }
+  virtual void restore_state(snap::Reader& r) { (void)r; }
 };
 
 /// Linear stream: start, start+stride, ... wrapping inside the region.
@@ -46,6 +54,15 @@ class SequentialPattern final : public Pattern {
   void on_phase(Pcg32&) override {
     slab_index_ = (slab_index_ + 1) % (bytes_ / slab_);
     cursor_ = 0;
+  }
+
+  void save_state(snap::Writer& w) const override {
+    w.u64(slab_index_);
+    w.u64(cursor_);
+  }
+  void restore_state(snap::Reader& r) override {
+    slab_index_ = r.u64();
+    cursor_ = r.u64();
   }
 
  private:
@@ -105,6 +122,9 @@ class ZipfPattern final : public Pattern {
     (void)rng;
   }
 
+  void save_state(snap::Writer& w) const override { w.u64(offset_); }
+  void restore_state(snap::Reader& r) override { offset_ = r.u64(); }
+
  private:
   [[nodiscard]] std::uint64_t permute(std::uint64_t rank) const noexcept {
     // granules_ need not be a power of two; use mod of an odd multiplier,
@@ -140,6 +160,15 @@ class ChasePattern final : public Pattern {
     cursor_ = (cursor_ + 1) % lines_;
     --run_left_;
     return a;
+  }
+
+  void save_state(snap::Writer& w) const override {
+    w.u64(cursor_);
+    w.u64(run_left_);
+  }
+  void restore_state(snap::Reader& r) override {
+    cursor_ = r.u64();
+    run_left_ = r.u64();
   }
 
  private:
@@ -180,6 +209,17 @@ class StridedPattern final : public Pattern {
     stride_ = s;
     slab_index_ = (slab_index_ + 1) % (bytes_ / slab_);
     cursor_ = 0;
+  }
+
+  void save_state(snap::Writer& w) const override {
+    w.u64(stride_);
+    w.u64(slab_index_);
+    w.u64(cursor_);
+  }
+  void restore_state(snap::Reader& r) override {
+    stride_ = r.u64();
+    slab_index_ = r.u64();
+    cursor_ = r.u64();
   }
 
  private:

@@ -1,0 +1,387 @@
+// Durability layer tests: checkpoint/restore bit-identity against an
+// uninterrupted run, checkpoint file integrity, the sweep journal
+// (append / recover / torn tail), --resume semantics, crash-isolated
+// cells, and the atomic results artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "fault/sim_error.hh"
+#include "runner/journal.hh"
+#include "runner/result_sink.hh"
+#include "runner/runner.hh"
+#include "runner/supervisor.hh"
+#include "sim/checkpoint.hh"
+#include "trace/workloads.hh"
+
+namespace hmm::runner {
+namespace {
+
+[[nodiscard]] std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "hmm_durability_" + name;
+}
+
+[[nodiscard]] ExperimentSpec sim_spec(const std::string& key) {
+  ExperimentSpec s;
+  s.key = key;
+  s.workload = WorkloadInfo{"pgbench", "", 0, make_pgbench};
+  s.config.controller.geom = Geometry{4 * GiB, 512 * MiB, 256 * KiB, 4 * KiB};
+  s.config.controller.design = MigrationDesign::LiveMigration;
+  s.config.controller.migration_enabled = true;
+  s.config.controller.swap_interval = 500;
+  s.accesses = 8000;
+  return s;
+}
+
+void expect_same_result(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);  // exact: same FP computation
+  EXPECT_EQ(a.avg_read_latency, b.avg_read_latency);
+  EXPECT_EQ(a.avg_write_latency, b.avg_write_latency);
+  EXPECT_EQ(a.avg_on_latency, b.avg_on_latency);
+  EXPECT_EQ(a.avg_off_latency, b.avg_off_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.on_package_fraction, b.on_package_fraction);
+  EXPECT_EQ(a.off_row_hit_rate, b.off_row_hit_rate);
+  EXPECT_EQ(a.on_queue_delay, b.on_queue_delay);
+  EXPECT_EQ(a.off_queue_delay, b.off_queue_delay);
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.migrated_bytes, b.migrated_bytes);
+  EXPECT_EQ(a.demand_bytes_on, b.demand_bytes_on);
+  EXPECT_EQ(a.demand_bytes_off, b.demand_bytes_off);
+  EXPECT_EQ(a.os_stall_cycles, b.os_stall_cycles);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.energy_pj, b.energy_pj);
+  EXPECT_EQ(a.energy_off_only_pj, b.energy_off_only_pj);
+}
+
+// Replays `spec` the way the runner's durable path does — chunked, with
+// the replay()-equivalent warm-up boundary — but force-"crashes" at access
+// `kill_at`, saving a checkpoint. A second, freshly constructed sim+
+// workload pair then restores the checkpoint and finishes the run. The
+// result must be bit-identical to the one-shot ExperimentRunner::replay().
+[[nodiscard]] RunResult run_killed_and_resumed(const ExperimentSpec& spec,
+                                               std::uint64_t seed,
+                                               std::uint64_t kill_at,
+                                               const std::string& path) {
+  const auto warm = static_cast<std::uint64_t>(
+      static_cast<double>(spec.accesses) * spec.warmup_fraction);
+  const std::uint64_t fp =
+      checkpoint_fingerprint(spec.key, seed, spec.accesses);
+  constexpr std::uint64_t kChunk = 1024;
+
+  // First life: run until kill_at, checkpoint, "die".
+  {
+    MemSim sim(spec.config);
+    auto gen = spec.workload.make(seed);
+    CheckpointMeta meta{fp, 0, false};
+    if (warm > 0 && spec.instant_warmup)
+      sim.controller().set_instant_migration(true);
+    while (meta.accesses_done < kill_at) {
+      if (warm > 0 && !meta.stats_reset_done && meta.accesses_done >= warm) {
+        sim.finish();
+        sim.controller().set_instant_migration(false);
+        sim.reset_stats();
+        meta.stats_reset_done = true;
+        continue;
+      }
+      const std::uint64_t target =
+          (warm > 0 && !meta.stats_reset_done) ? warm : spec.accesses;
+      const std::uint64_t n =
+          std::min({kChunk, target - meta.accesses_done,
+                    kill_at - meta.accesses_done});
+      sim.run_chunk(*gen, n);
+      meta.accesses_done += n;
+    }
+    save_checkpoint(path, meta, *gen, sim);
+  }
+
+  // Second life: fresh objects, restore, finish.
+  MemSim sim(spec.config);
+  auto gen = spec.workload.make(seed);
+  const auto meta_opt = load_checkpoint(path, fp, *gen, sim);
+  EXPECT_TRUE(meta_opt.has_value());
+  CheckpointMeta meta = *meta_opt;
+  while (meta.accesses_done < spec.accesses ||
+         (warm > 0 && !meta.stats_reset_done)) {
+    if (warm > 0 && !meta.stats_reset_done && meta.accesses_done >= warm) {
+      sim.finish();
+      sim.controller().set_instant_migration(false);
+      sim.reset_stats();
+      meta.stats_reset_done = true;
+      continue;
+    }
+    const std::uint64_t target =
+        (warm > 0 && !meta.stats_reset_done) ? warm : spec.accesses;
+    sim.run_chunk(*gen, std::min(kChunk, target - meta.accesses_done));
+    meta.accesses_done = std::min(target, meta.accesses_done + kChunk);
+  }
+  sim.finish();
+  sim.finish();
+  remove_checkpoint(path);
+  return sim.result();
+}
+
+TEST(Checkpoint, KillAndResumeIsBitIdenticalToUninterruptedRun) {
+  const ExperimentSpec spec = sim_spec("durability/bit-identity");
+  const std::uint64_t seed = derive_seed(42, spec.key);
+  const RunResult reference = ExperimentRunner::replay(spec, seed);
+  const std::string path = temp_path("bit_identity.ckpt");
+
+  // Kill points: mid-warm-up, exactly at the reset boundary, and twice in
+  // the measured phase (mid-swap activity at interval 500).
+  for (const std::uint64_t kill_at : {1024ull, 4000ull, 5120ull, 7000ull}) {
+    SCOPED_TRACE(kill_at);
+    const RunResult resumed =
+        run_killed_and_resumed(spec, seed, kill_at, path);
+    expect_same_result(resumed, reference);
+  }
+}
+
+TEST(Checkpoint, MissingFileIsNulloptAndWrongFingerprintThrows) {
+  const ExperimentSpec spec = sim_spec("durability/fingerprint");
+  const std::uint64_t seed = derive_seed(42, spec.key);
+  const std::string path = temp_path("fingerprint.ckpt");
+  std::remove(path.c_str());
+
+  MemSim sim(spec.config);
+  auto gen = spec.workload.make(seed);
+  const std::uint64_t fp =
+      checkpoint_fingerprint(spec.key, seed, spec.accesses);
+  EXPECT_FALSE(load_checkpoint(path, fp, *gen, sim).has_value());
+
+  sim.run_chunk(*gen, 512);
+  save_checkpoint(path, CheckpointMeta{fp, 512, false}, *gen, sim);
+
+  MemSim other(spec.config);
+  auto other_gen = spec.workload.make(seed);
+  EXPECT_THROW((void)load_checkpoint(path, fp + 1, *other_gen, other),
+               fault::SimError);
+  // A truncated file is corruption, not "missing".
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream body;
+    body << is.rdbuf();
+    const std::string cut = body.str().substr(0, body.str().size() / 2);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(cut.data(), static_cast<std::streamsize>(cut.size()));
+  }
+  EXPECT_THROW((void)load_checkpoint(path, fp, *other_gen, other),
+               fault::SimError);
+  std::remove(path.c_str());
+}
+
+// --- journal ----------------------------------------------------------------
+
+[[nodiscard]] CellResult sample_cell(const std::string& key) {
+  CellResult c;
+  c.key = key;
+  c.seed = 0xFEEDFACEull;
+  c.ok = true;
+  c.status = "ok";
+  c.attempts = 2;
+  c.wall_seconds = 1.5;
+  c.result.accesses = 4096;
+  c.result.avg_latency = 123.456;
+  c.result.p99_latency = 999.0;
+  c.result.swaps = 17;
+  c.result.migrated_bytes = 17u * 256 * 1024;
+  c.result.degraded = true;
+  c.result.degraded_at = 31337;
+  c.result.fault_events.push_back(
+      fault::FaultEvent{fault::FaultSite::MigrationChunkDrop, 7, 3});
+  c.result.energy_pj = 1e12;
+  return c;
+}
+
+TEST(Journal, EncodeDecodeCellIsLossless) {
+  const CellResult a = sample_cell("fig13/FT/64KB");
+  snap::Writer w;
+  encode_cell(w, a);
+  snap::Reader r(w.buffer());
+  const CellResult b = decode_cell(r);
+  EXPECT_EQ(b.key, a.key);
+  EXPECT_EQ(b.seed, a.seed);
+  EXPECT_EQ(b.ok, a.ok);
+  EXPECT_EQ(b.status, a.status);
+  EXPECT_EQ(b.attempts, a.attempts);
+  EXPECT_EQ(b.wall_seconds, a.wall_seconds);
+  expect_same_result(b.result, a.result);
+  ASSERT_EQ(b.result.fault_events.size(), 1u);
+  EXPECT_EQ(b.result.fault_events[0].site,
+            fault::FaultSite::MigrationChunkDrop);
+  EXPECT_EQ(b.result.fault_events[0].opportunity, 7u);
+}
+
+TEST(Journal, AppendRecoverAndToleratesATornTail) {
+  const std::string path = temp_path("journal.jsonl");
+  std::remove(path.c_str());
+  {
+    Journal j(path);
+    EXPECT_TRUE(j.enabled());
+    EXPECT_TRUE(j.recovered().empty());
+    EXPECT_TRUE(j.append(sample_cell("sweep/a")));
+    EXPECT_TRUE(j.append(sample_cell("sweep/b")));
+  }
+  {
+    Journal j(path);
+    ASSERT_EQ(j.recovered().size(), 2u);
+    EXPECT_EQ(j.recovered()[0].key, "sweep/a");
+    EXPECT_EQ(j.recovered()[1].key, "sweep/b");
+    expect_same_result(j.recovered()[0].result, sample_cell("x").result);
+  }
+  // Tear the second line mid-blob (a crash while an old implementation
+  // appended in place); recovery must stop at the damage, keeping line 1.
+  {
+    std::ifstream is(path);
+    std::stringstream body;
+    body << is.rdbuf();
+    std::string cut = body.str();
+    cut.resize(cut.size() - 20);
+    std::ofstream os(path, std::ios::trunc);
+    os << cut;
+  }
+  {
+    Journal j(path);
+    ASSERT_EQ(j.recovered().size(), 1u);
+    EXPECT_EQ(j.recovered()[0].key, "sweep/a");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, SanitizeKeyMakesFilesystemSafeStems) {
+  EXPECT_EQ(sanitize_key("fig13/FT/64KB"), "fig13_FT_64KB");
+  EXPECT_EQ(sanitize_key("a b\tc"), "a_b_c");
+  EXPECT_EQ(sanitize_key(""), "cell");
+}
+
+// --- runner: interrupt, resume, crash isolation -----------------------------
+
+TEST(RunnerDurability, InterruptStopsTheSweepAndResumeFinishesIt) {
+  clear_interrupt();
+  const std::string journal = temp_path("resume.journal");
+  std::remove(journal.c_str());
+
+  std::vector<ExperimentSpec> grid(3);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].key = "cell" + std::to_string(i);
+    grid[i].job = [i](std::uint64_t) {
+      if (i == 0) request_interrupt();  // SIGINT lands mid-sweep
+      RunResult r;
+      r.accesses = 100 + i;
+      return r;
+    };
+  }
+  const std::vector<CellResult> first =
+      ExperimentRunner({.jobs = 1, .journal_path = journal}).run(grid);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_TRUE(first[0].ok);  // completed before the flag was polled
+  EXPECT_EQ(first[1].status, "interrupted");
+  EXPECT_EQ(first[2].status, "interrupted");
+  EXPECT_TRUE(std::filesystem::exists(journal));  // kept: work remains
+
+  // Resume: cell0 must come from the journal, never rerun — poison it.
+  clear_interrupt();
+  grid[0].job = [](std::uint64_t) -> RunResult {
+    throw std::runtime_error("resumed cell was re-executed");
+  };
+  const std::vector<CellResult> second =
+      ExperimentRunner({.jobs = 1, .journal_path = journal, .resume = true})
+          .run(grid);
+  ASSERT_EQ(second.size(), 3u);
+  EXPECT_TRUE(second[0].ok);
+  EXPECT_TRUE(second[0].resumed);
+  EXPECT_EQ(second[0].result.accesses, 100u);  // recorded metrics, verbatim
+  EXPECT_TRUE(second[1].ok);
+  EXPECT_FALSE(second[1].resumed);
+  EXPECT_TRUE(second[2].ok);
+  // Sweep complete: the journal has served its purpose and is gone.
+  EXPECT_FALSE(std::filesystem::exists(journal));
+}
+
+TEST(RunnerDurability, CrashingCellIsIsolatedAndSiblingsComplete) {
+  if (!process_isolation_available()) GTEST_SKIP() << "no fork()";
+  clear_interrupt();
+
+  std::vector<ExperimentSpec> grid(3);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].key = "cell" + std::to_string(i);
+    grid[i].job = [i](std::uint64_t) {
+      if (i == 1) std::raise(SIGSEGV);  // the cell dies, not the sweep
+      RunResult r;
+      r.accesses = 100 + i;
+      return r;
+    };
+  }
+  const std::vector<CellResult> out =
+      ExperimentRunner({.jobs = 2, .isolation = Isolation::Process})
+          .run(grid);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].ok);
+  EXPECT_EQ(out[0].result.accesses, 100u);
+  EXPECT_FALSE(out[1].ok);
+  EXPECT_EQ(out[1].status, "crashed");
+  EXPECT_NE(out[1].error.find("signal"), std::string::npos);
+  EXPECT_TRUE(out[2].ok);
+  EXPECT_EQ(out[2].result.accesses, 102u);
+}
+
+TEST(RunnerDurability, ProcessIsolationMatchesInProcessResults) {
+  if (!process_isolation_available()) GTEST_SKIP() << "no fork()";
+  clear_interrupt();
+
+  std::vector<ExperimentSpec> grid;
+  grid.push_back(sim_spec("durability/iso/a"));
+  grid.push_back(sim_spec("durability/iso/b"));
+  for (ExperimentSpec& s : grid) s.accesses = 3000;
+
+  const std::vector<CellResult> in_process =
+      ExperimentRunner({.jobs = 2}).run(grid);
+  const std::vector<CellResult> isolated =
+      ExperimentRunner({.jobs = 2, .isolation = Isolation::Process})
+          .run(grid);
+  ASSERT_EQ(isolated.size(), in_process.size());
+  for (std::size_t i = 0; i < isolated.size(); ++i) {
+    SCOPED_TRACE(grid[i].key);
+    EXPECT_TRUE(in_process[i].ok) << in_process[i].error;
+    EXPECT_TRUE(isolated[i].ok) << isolated[i].error;
+    EXPECT_EQ(isolated[i].seed, in_process[i].seed);
+    expect_same_result(isolated[i].result, in_process[i].result);
+  }
+}
+
+// --- atomic results artifact ------------------------------------------------
+
+TEST(ResultSinkDurability, ArtifactIsWrittenAtomically) {
+  const std::string dir = temp_path("results");
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(setenv("HMM_RESULTS_DIR", dir.c_str(), 1), 0);
+
+  ResultSink sink("durability_bench");
+  const std::vector<CellResult> cells{sample_cell("sweep/a")};
+  const std::string path = sink.write_json(cells);
+  unsetenv("HMM_RESULTS_DIR");
+
+  ASSERT_FALSE(path.empty());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // renamed away
+  std::ifstream is(path);
+  std::stringstream body;
+  body << is.rdbuf();
+  const std::string json = body.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hmm::runner

@@ -1,0 +1,258 @@
+// Snapshot layer tests: the CRC-framed binary format itself (round-trip,
+// corruption detection, framing discipline) and save/restore round-trips
+// of every stateful component. The canonical property is byte equality:
+//   save(x) == save(restore_into_fresh(save(x)))
+// which holds only if restore() reconstructs *all* serialized state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/snapshot.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "core/translation_table.hh"
+#include "fault/sim_error.hh"
+#include "sim/memsim.hh"
+#include "trace/workloads.hh"
+
+namespace hmm {
+namespace {
+
+// --- format primitives ------------------------------------------------------
+
+TEST(Crc32, MatchesTheReferenceVector) {
+  const auto* s = reinterpret_cast<const std::uint8_t*>("123456789");
+  EXPECT_EQ(snap::crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(snap::crc32(s, 0), 0u);
+}
+
+TEST(Snapshot, PrimitivesRoundTrip) {
+  snap::Writer w;
+  w.begin_section(snap::tag('T', 'E', 'S', 'T'));
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.b(true);
+  w.b(false);
+  w.f64(-0.0);  // sign bit must survive (raw IEEE-754 bits)
+  w.f64(1.0 / 3.0);
+  w.str("fig13/FT/64KB");
+  w.str("");
+  w.end_section();
+
+  snap::Reader r(w.buffer());
+  r.begin_section(snap::tag('T', 'E', 'S', 'T'));
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_EQ(r.str(), "fig13/FT/64KB");
+  EXPECT_EQ(r.str(), "");
+  r.end_section();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Snapshot, CorruptionIsDetectedByTheSectionCrc) {
+  snap::Writer w;
+  w.begin_section(snap::tag('T', 'E', 'S', 'T'));
+  w.u64(42);
+  w.str("payload");
+  w.end_section();
+
+  // Flip one payload bit (past the 12-byte tag+size header).
+  std::vector<std::uint8_t> bytes = w.buffer();
+  bytes[14] ^= 0x01;
+  snap::Reader r(bytes);
+  EXPECT_THROW(r.begin_section(snap::tag('T', 'E', 'S', 'T')),
+               fault::SimError);
+}
+
+TEST(Snapshot, WrongTagAndTruncationThrow) {
+  snap::Writer w;
+  w.begin_section(snap::tag('A', 'A', 'A', 'A'));
+  w.u32(7);
+  w.end_section();
+
+  snap::Reader wrong(w.buffer());
+  EXPECT_THROW(wrong.begin_section(snap::tag('B', 'B', 'B', 'B')),
+               fault::SimError);
+
+  std::vector<std::uint8_t> cut = w.buffer();
+  cut.resize(cut.size() - 3);
+  snap::Reader trunc(cut);
+  EXPECT_THROW(trunc.begin_section(snap::tag('A', 'A', 'A', 'A')),
+               fault::SimError);
+}
+
+TEST(Snapshot, ReaderRejectsOverconsumptionOfASection) {
+  snap::Writer w;
+  w.begin_section(snap::tag('T', 'E', 'S', 'T'));
+  w.u32(1);
+  w.end_section();
+  snap::Reader r(w.buffer());
+  r.begin_section(snap::tag('T', 'E', 'S', 'T'));
+  (void)r.u32();
+  EXPECT_THROW((void)r.u32(), fault::SimError);  // past the section payload
+}
+
+// --- component round-trips --------------------------------------------------
+
+TEST(Pcg32, RawStateResumesTheStreamExactly) {
+  Pcg32 a(123, 456);
+  for (int i = 0; i < 1000; ++i) (void)a.next();
+  const Pcg32::Raw mid = a.raw();
+  std::vector<std::uint32_t> expect;
+  for (int i = 0; i < 64; ++i) expect.push_back(a.next());
+
+  Pcg32 b;  // arbitrary fresh state
+  b.set_raw(mid);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(b.next(), expect[i]);
+}
+
+TEST(RunningStat, RawRoundTripIncludingEmptySentinels) {
+  RunningStat empty;
+  RunningStat restored;
+  restored.add(99);  // dirty state that restore must fully overwrite
+  restored.set_raw(empty.raw());
+  EXPECT_EQ(restored.count(), 0u);
+
+  RunningStat s;
+  s.add(3.5);
+  s.add(-1.25);
+  RunningStat t;
+  t.set_raw(s.raw());
+  EXPECT_EQ(t.count(), s.count());
+  EXPECT_EQ(t.mean(), s.mean());
+  EXPECT_EQ(t.min(), s.min());
+  EXPECT_EQ(t.max(), s.max());
+  // After restore both must keep evolving identically.
+  s.add(7.0);
+  t.add(7.0);
+  EXPECT_EQ(t.mean(), s.mean());
+}
+
+[[nodiscard]] std::vector<std::uint8_t> table_bytes(
+    const TranslationTable& t) {
+  snap::Writer w;
+  t.save(w);
+  return w.buffer();
+}
+
+TEST(TranslationTable, RoundTripsIdleAndMidChoreographyStates) {
+  const Geometry g{64 * MiB, 16 * MiB, 1 * MiB, 4 * KiB};
+  TranslationTable t(g, TableMode::HardwareNMinus1);
+
+  // Drive the table through Fig 8-style mutations: a CAM entry, a pending
+  // relocation, an empty row, and a half-complete live fill.
+  t.set_row(3, 40);        // q = 40 (>= N) occupies slot 3
+  t.note_data_at(40, 3);
+  t.note_data_at(3, 40);
+  t.set_pending(5, true);  // row 5 mid-relocation (P bit)
+  t.set_row_empty(7);
+  t.begin_fill(9, 41, g.page_bytes * 41);
+  t.mark_sub_block(0);
+  t.mark_sub_block(3);
+
+  const std::vector<std::uint8_t> bytes = table_bytes(t);
+  TranslationTable u(g, TableMode::HardwareNMinus1);
+  {
+    snap::Reader r(bytes);
+    u.restore(r);
+  }
+  EXPECT_EQ(table_bytes(u), bytes);
+
+  // Behavioural spot checks on the restored table.
+  EXPECT_EQ(u.occupant(3), 40u);
+  EXPECT_TRUE(u.pending(5));
+  EXPECT_TRUE(u.fill_active());
+  EXPECT_EQ(u.fill_page(), 41u);
+  EXPECT_EQ(u.fill_ready_count(), 2u);
+  EXPECT_TRUE(u.sub_block_ready(3));
+  EXPECT_FALSE(u.sub_block_ready(1));
+  for (PhysAddr a = 0; a < g.total_bytes; a += g.page_bytes / 2) {
+    const Route ra = t.translate(a);
+    const Route rb = u.translate(a);
+    EXPECT_EQ(ra.region, rb.region);
+    EXPECT_EQ(ra.mach, rb.mach);
+    EXPECT_EQ(ra.served_by_fill_slot, rb.served_by_fill_slot);
+  }
+}
+
+TEST(SyntheticWorkload, RoundTripResumesTheRecordStreamExactly) {
+  const WorkloadInfo info{"pgbench", "", 0, make_pgbench};
+  auto a = info.make(777);
+  for (int i = 0; i < 5000; ++i) (void)a->next();
+
+  snap::Writer w;
+  a->save(w);
+  auto b = info.make(777);  // same construction, fresh cursor
+  {
+    snap::Reader r(w.buffer());
+    b->restore(r);
+  }
+  EXPECT_EQ(b->emitted(), a->emitted());
+  for (int i = 0; i < 2000; ++i) {
+    const TraceRecord ra = a->next();
+    const TraceRecord rb = b->next();
+    ASSERT_EQ(ra.addr, rb.addr);
+    ASSERT_EQ(ra.timestamp, rb.timestamp);
+    ASSERT_EQ(ra.cpu, rb.cpu);
+    ASSERT_EQ(ra.type, rb.type);
+  }
+}
+
+// --- full simulator ---------------------------------------------------------
+
+[[nodiscard]] MemSimConfig live_migration_config() {
+  MemSimConfig cfg;
+  cfg.controller.geom = Geometry{4 * GiB, 512 * MiB, 256 * KiB, 4 * KiB};
+  cfg.controller.design = MigrationDesign::LiveMigration;
+  cfg.controller.migration_enabled = true;
+  cfg.controller.swap_interval = 500;  // frequent swaps: rich mid-flight state
+  return cfg;
+}
+
+// Saving at many access counts K lands checkpoints inside every phase of
+// the swap choreography (idle, mid-copy, fill in flight, drain) — the
+// byte-equality property must hold at all of them.
+TEST(MemSimSnapshot, SaveRestoreSaveIsByteIdenticalAcrossSwapPhases) {
+  const WorkloadInfo info{"pgbench", "", 0, make_pgbench};
+  const MemSimConfig cfg = live_migration_config();
+
+  MemSim sim(cfg);
+  auto gen = info.make(4242);
+  std::uint64_t replayed = 0;
+  for (const std::uint64_t k : {1ull, 257ull, 977ull, 3000ull, 7919ull}) {
+    sim.run_chunk(*gen, k - replayed);
+    replayed = k;
+
+    snap::Writer w;
+    gen->save(w);
+    sim.save(w);
+
+    MemSim fresh(cfg);
+    auto fresh_gen = info.make(4242);
+    snap::Reader r(w.buffer());
+    fresh_gen->restore(r);
+    fresh.restore(r);
+
+    snap::Writer w2;
+    fresh_gen->save(w2);
+    fresh.save(w2);
+    ASSERT_EQ(w2.buffer(), w.buffer()) << "diverged at access " << k;
+  }
+}
+
+}  // namespace
+}  // namespace hmm
