@@ -92,7 +92,8 @@ namespace hmm::bench {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return true;
   }
-  if (const char* e = std::getenv("HMM_SMOKE")) return e[0] != '\0' && e[0] != '0';
+  if (const char* e = std::getenv("HMM_SMOKE"))
+    return e[0] != '\0' && e[0] != '0';
   return false;
 }
 
@@ -308,11 +309,9 @@ inline void report_artifact(const std::string& path) {
 }
 
 /// Convenience: a migration config for the Section IV studies.
-[[nodiscard]] inline MemSimConfig migration_config(std::uint64_t page_bytes,
-                                                   MigrationDesign design,
-                                                   std::uint64_t interval,
-                                                   std::uint64_t on_package =
-                                                       params::kSec4OnPackageCapacity) {
+[[nodiscard]] inline MemSimConfig migration_config(
+    std::uint64_t page_bytes, MigrationDesign design, std::uint64_t interval,
+    std::uint64_t on_package = params::kSec4OnPackageCapacity) {
   MemSimConfig cfg;
   cfg.controller.geom = sec4_geometry(page_bytes, on_package);
   cfg.controller.design = design;
@@ -322,9 +321,9 @@ inline void report_artifact(const std::string& path) {
 }
 
 /// Static mapping (no migration) on the same geometry.
-[[nodiscard]] inline MemSimConfig static_config(std::uint64_t page_bytes,
-                                                std::uint64_t on_package =
-                                                    params::kSec4OnPackageCapacity) {
+[[nodiscard]] inline MemSimConfig static_config(
+    std::uint64_t page_bytes,
+    std::uint64_t on_package = params::kSec4OnPackageCapacity) {
   MemSimConfig cfg;
   cfg.controller.geom = sec4_geometry(page_bytes, on_package);
   cfg.controller.migration_enabled = false;

@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
     on_cfg.force = MemSimConfig::Force::AllOnPackage;
     grid.push_back(bench::cell(wk + "/all-on", wk, w, on_cfg, n / 2));
     grid.push_back(
-        bench::cell(wk + "/static", wk, w, bench::static_config(4 * MiB), n / 2));
+        bench::cell(wk + "/static", wk, w, bench::static_config(4 * MiB),
+                    n / 2));
     for (const std::uint64_t interval : intervals) {
       for (const std::uint64_t page : pages) {
         for (const MigrationDesign d : designs) {

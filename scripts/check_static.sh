@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Static-analysis gate: everything that can judge the tree without
+# running it. Run from anywhere; operates on the repo root.
+#
+#   scripts/check_static.sh [build-dir]
+#
+# Stages:
+#   1. scripts/lint.py          repo-specific structural rules (always)
+#   2. scripts/format.sh --check  clang-format conformance   (if installed)
+#   3. clang-tidy               curated .clang-tidy set      (if installed)
+#   4. cppcheck                 whole-program analysis       (if installed)
+#
+# Missing optional tools produce a SKIP line, not a failure: the repo
+# must stay checkable in minimal containers that only carry a compiler
+# and python3. Stage 1 is the enforced backbone and never skips.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+failures=0
+
+note() { echo "== $*" >&2; }
+skip() { echo "-- SKIP: $*" >&2; }
+fail() { echo "-- FAIL: $*" >&2; failures=$((failures + 1)); }
+
+# --- 1. repo linter (mandatory) ---------------------------------------------
+note "lint.py"
+if ! python3 scripts/lint.py; then
+  fail "scripts/lint.py reported findings"
+fi
+
+# --- 2. formatting ----------------------------------------------------------
+note "format --check"
+if command -v "${CLANG_FORMAT:-clang-format}" >/dev/null 2>&1; then
+  if ! scripts/format.sh --check; then
+    fail "clang-format check"
+  fi
+else
+  skip "clang-format not installed"
+fi
+
+# --- 3. clang-tidy ----------------------------------------------------------
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
+    mapfile -t tidy_files < <(git ls-files 'src/*.cc' 'tools/*.cc')
+    if ! clang-tidy -p "$BUILD_DIR" --quiet "${tidy_files[@]}"; then
+      fail "clang-tidy"
+    fi
+  else
+    skip "no $BUILD_DIR/compile_commands.json (configure with" \
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+  fi
+else
+  skip "clang-tidy not installed"
+fi
+
+# --- 4. cppcheck ------------------------------------------------------------
+note "cppcheck"
+if command -v cppcheck >/dev/null 2>&1; then
+  if ! cppcheck --std=c++20 --language=c++ --enable=warning,performance \
+       --error-exitcode=1 --inline-suppr --quiet \
+       --suppress=missingIncludeSystem -I src \
+       $(git ls-files 'src/*.cc' 'tools/*.cc'); then
+    fail "cppcheck"
+  fi
+else
+  skip "cppcheck not installed"
+fi
+
+if [[ $failures -ne 0 ]]; then
+  echo "check_static: $failures stage(s) failed" >&2
+  exit 1
+fi
+echo "check_static: all stages passed (or skipped for missing tools)" >&2

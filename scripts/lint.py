@@ -1,0 +1,467 @@
+#!/usr/bin/env python3
+"""Repo-specific structural linter for the hmm codebase.
+
+Checks that generic tools cannot express, because they encode this
+repository's own correctness contracts:
+
+  bare-assert        assert()/abort() in non-test code. Release builds
+                     compile assert() away, so invariants must use
+                     HMM_CHECK (always evaluated, throws a structured
+                     SimError) — see src/fault/sim_error.hh.
+  unseeded-rng       rand()/srand()/std::random_device/
+                     default_random_engine in non-test code. Simulation
+                     must be deterministic and platform-stable; use the
+                     seeded Pcg32 from src/common/random.hh.
+  snapshot-coverage  every serialized member of a snapshot-capable class
+                     (one declaring both save(snap::Writer&) and
+                     restore(snap::Reader&)) must be written by save()
+                     AND read by restore(). A member added to a class
+                     but not to its codecs silently rots every
+                     checkpoint; this check parses the class definition
+                     and both function bodies so it cannot happen.
+                     References and pointers are exempt (not owned);
+                     construction-time constants carry a
+                     "no-snapshot(<why>)" comment.
+  include-hygiene    headers start with #pragma once; a .cc includes its
+                     own header first (catches headers that silently
+                     depend on prior includes); no file-scope
+                     `using namespace` in headers.
+  style              no tabs, no trailing whitespace, no CRLF, files end
+                     with exactly one newline, lines fit in 80 columns.
+
+Suppression: append  // lint: allow(<rule>)  to the offending line.
+
+Usage: scripts/lint.py [--root DIR] [files...]   (default: git ls-files)
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+CXX_EXTENSIONS = (".cc", ".hh", ".h", ".cpp", ".hpp")
+# Directories holding shipped (non-test) code, held to the strictest rules.
+SHIPPED_DIRS = ("src/", "tools/")
+# Test code may use bare asserts (gtest has its own) and ad-hoc RNG.
+TEST_DIRS = ("tests/",)
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z\-]+)\)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based; 0 = whole file
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string/char literals so
+    token checks do not fire on documentation or log text. (Block
+    comments spanning lines are handled by the caller's state.)"""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+                out.append(c)
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_code_lines(text):
+    """Yields (lineno, raw_line, code_line) with block comments blanked."""
+    in_block = False
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                yield lineno, raw, ""
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        # Blank any /* ... */ segments (possibly several, possibly open).
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        yield lineno, raw, strip_comments_and_strings(line)
+
+
+def allowed(raw_line, rule):
+    m = ALLOW_RE.search(raw_line)
+    return m is not None and m.group(1) == rule
+
+
+def is_shipped(path):
+    return path.startswith(SHIPPED_DIRS)
+
+
+def is_test(path):
+    return path.startswith(TEST_DIRS)
+
+
+# --- rule: bare-assert / unseeded-rng ---------------------------------------
+
+ASSERT_RE = re.compile(r"(?<![\w_])(assert|abort)\s*\(")
+RNG_RE = re.compile(
+    r"(?<![\w_:])(rand|srand)\s*\(|std::random_device|default_random_engine"
+)
+
+
+def check_banned_calls(path, text, findings):
+    if not is_shipped(path):
+        return
+    for lineno, raw, code in iter_code_lines(text):
+        m = ASSERT_RE.search(code)
+        if m and "static_assert" not in code and not allowed(raw,
+                                                            "bare-assert"):
+            findings.append(Finding(
+                path, lineno, "bare-assert",
+                f"{m.group(1)}() vanishes in release builds / kills the "
+                "process; use HMM_CHECK (src/fault/sim_error.hh) so the "
+                "invariant throws a structured SimError in every build"))
+        m = RNG_RE.search(code)
+        if m and not allowed(raw, "unseeded-rng"):
+            findings.append(Finding(
+                path, lineno, "unseeded-rng",
+                "non-deterministic / platform-dependent RNG; use the "
+                "seeded Pcg32 from src/common/random.hh"))
+
+
+# --- rule: snapshot-coverage -------------------------------------------------
+
+CLASS_RE = re.compile(r"^\s*(?:class|struct)\s+(\w+)[^;{]*\{", re.MULTILINE)
+MEMBER_RE = re.compile(
+    r"""^\s*
+        (?!return|delete|typedef|using|friend|static|constexpr|if|for|while)
+        [\w:<>,\s]+?               # type tokens (no * or & anywhere)
+        \s([a-z]\w*_)\s*           # member name, trailing underscore
+        (?:=[^;]*|\{[^;]*\})?;     # optional initializer
+        """,
+    re.VERBOSE,
+)
+NO_SNAPSHOT_RE = re.compile(r"no-snapshot\(|not owned")
+
+
+def find_matching_brace(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def extract_function_body(text, sig_re):
+    """Returns the body of the first function whose signature matches.
+    A declaration (signature followed by `;`) is skipped, not mistaken
+    for a definition."""
+    for m in sig_re.finditer(text):
+        i = m.end()
+        while i < len(text) and text[i] not in "{;":
+            i += 1
+        if i >= len(text) or text[i] == ";":
+            continue
+        close = find_matching_brace(text, i)
+        if close > 0:
+            return text[i:close + 1]
+    return None
+
+
+def class_bodies(text):
+    """Yields (name, body, header_offset_line) for each class/struct."""
+    for m in CLASS_RE.finditer(text):
+        open_pos = text.find("{", m.start())
+        close = find_matching_brace(text, open_pos)
+        if close < 0:
+            continue
+        yield m.group(1), text[open_pos:close + 1], \
+            text.count("\n", 0, m.start()) + 1
+
+
+def check_snapshot_coverage(path, text, findings, all_files):
+    if not path.endswith((".hh", ".h")) or not is_shipped(path):
+        return
+    sibling = path[: path.rfind(".")] + ".cc"
+    impl = all_files.get(sibling, "")
+    for name, body, base_line in class_bodies(text):
+        if "save(snap::Writer" not in body or \
+           "restore(snap::Reader" not in body:
+            continue
+        save_body = (
+            extract_function_body(body, re.compile(
+                r"void\s+save\s*\(snap::Writer[^)]*\)\s*const"))
+            or extract_function_body(impl, re.compile(
+                rf"void\s+{name}::save\s*\(snap::Writer")))
+        restore_body = (
+            extract_function_body(body, re.compile(
+                r"void\s+restore\s*\(snap::Reader[^)]*\)"))
+            or extract_function_body(impl, re.compile(
+                rf"void\s+{name}::restore\s*\(snap::Reader")))
+        if save_body is None or restore_body is None:
+            findings.append(Finding(
+                path, base_line, "snapshot-coverage",
+                f"{name} declares save/restore but a body was not found "
+                f"(looked inline and in {sibling})"))
+            continue
+        # Only the class's own top-level members: blank nested classes.
+        flat_lines = []
+        depth = 0
+        for line in body[1:-1].split("\n"):
+            starts_nested = depth == 0 and re.match(
+                r"\s*(?:class|struct|enum|union)\s+\w+[^;]*$", line)
+            depth += line.count("{") - line.count("}")
+            if starts_nested or depth > 0 or "}" in line and depth == 0 \
+               and re.match(r"\s*}", line):
+                flat_lines.append("")
+            else:
+                flat_lines.append(line)
+        prev = ""
+        for offset, line in enumerate(flat_lines):
+            m = MEMBER_RE.match(line)
+            if m:
+                member = m.group(1)
+                lineno = base_line + offset + 1
+                if "*" in line.split("//")[0] or "&" in line.split("//")[0]:
+                    prev = line
+                    continue  # not owned: never serialized
+                if NO_SNAPSHOT_RE.search(line) or NO_SNAPSHOT_RE.search(prev):
+                    prev = line
+                    continue
+                if member not in save_body:
+                    findings.append(Finding(
+                        path, lineno, "snapshot-coverage",
+                        f"{name}::{member} is not written by save() — a "
+                        "checkpoint would silently drop it (mark the decl "
+                        "no-snapshot(<why>) if that is intentional)"))
+                elif member not in restore_body:
+                    findings.append(Finding(
+                        path, lineno, "snapshot-coverage",
+                        f"{name}::{member} is written by save() but never "
+                        "read back by restore()"))
+            prev = line
+
+
+# --- rule: include-hygiene ---------------------------------------------------
+
+def check_include_hygiene(path, text, findings, all_files):
+    if path.endswith((".hh", ".h", ".hpp")):
+        first_code = next(
+            (code for _, _, code in iter_code_lines(text) if code.strip()),
+            "")
+        if first_code.strip() != "#pragma once":
+            findings.append(Finding(
+                path, 1, "include-hygiene",
+                "header must open with #pragma once (after the file "
+                "comment)"))
+        for lineno, raw, code in iter_code_lines(text):
+            if re.match(r"\s*using\s+namespace\s", code) and \
+               not allowed(raw, "include-hygiene"):
+                findings.append(Finding(
+                    path, lineno, "include-hygiene",
+                    "file-scope `using namespace` in a header leaks into "
+                    "every includer"))
+        return
+    if path.endswith((".cc", ".cpp")) and is_shipped(path):
+        own = os.path.basename(path)
+        own = own[: own.rfind(".")]
+        # Binaries without a header of their own (tool main files) have
+        # nothing to prove self-contained.
+        has_header = any(
+            os.path.basename(p)[: os.path.basename(p).rfind(".")] == own
+            and p.endswith((".hh", ".h", ".hpp"))
+            for p in all_files)
+        if not has_header:
+            return
+        first_include = None
+        for lineno, raw, code in iter_code_lines(text):
+            # Match against the raw line: the code view blanks string
+            # literals, which would erase quoted include paths.
+            m = re.match(r'\s*#\s*include\s+["<]([^">]+)[">]', raw)
+            if m and code.strip():
+                first_include = (lineno, raw, m.group(1))
+                break
+        if first_include is None:
+            return
+        lineno, raw, inc = first_include
+        base = os.path.basename(inc)
+        if base[: base.rfind(".")] != own and not allowed(raw,
+                                                          "include-hygiene"):
+            findings.append(Finding(
+                path, lineno, "include-hygiene",
+                "a .cc must include its own header first, so the header "
+                "is proven self-contained"))
+
+
+# --- rule: style -------------------------------------------------------------
+
+MAX_COLUMNS = 80
+
+
+def check_style(path, text, findings):
+    if "\r" in text:
+        findings.append(Finding(path, 0, "style", "CRLF line endings"))
+    if text and not text.endswith("\n"):
+        findings.append(Finding(path, 0, "style",
+                                "file does not end with a newline"))
+    if text.endswith("\n\n"):
+        findings.append(Finding(path, 0, "style",
+                                "file ends with blank lines"))
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        if "\t" in raw:
+            findings.append(Finding(path, lineno, "style",
+                                    "tab character (indent is spaces)"))
+        if raw != raw.rstrip():
+            findings.append(Finding(path, lineno, "style",
+                                    "trailing whitespace"))
+        if len(raw) > MAX_COLUMNS and not allowed(raw, "style"):
+            findings.append(Finding(
+                path, lineno, "style",
+                f"line is {len(raw)} columns (limit {MAX_COLUMNS})"))
+
+
+# --- self-test ---------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (rule expected to fire, path, source)
+    ("bare-assert", "src/x/a.cc",
+     '#include "x/a.hh"\nvoid f() { assert(1 > 0); }\n'),
+    ("unseeded-rng", "src/x/b.cc",
+     '#include "x/b.hh"\nint g() { return rand(); }\n'),
+    ("snapshot-coverage", "src/x/c.hh",
+     "#pragma once\nclass C {\n public:\n"
+     "  void save(snap::Writer& w) const {}\n"
+     "  void restore(snap::Reader& r) {}\n private:\n"
+     "  int dropped_ = 0;\n};\n"),
+    ("include-hygiene", "src/x/d.hh",
+     "#include <vector>\nusing namespace std;\n"),
+    ("style", "src/x/e.cc",
+     '#include "x/e.hh"\nint h() { return 1; }   \n'),
+]
+
+
+def self_test():
+    """Every rule must fire on its synthetic bad input and stay silent on
+    the clean equivalent — a linter edit that breaks detection fails CI
+    instead of silently passing everything."""
+    failures = []
+    for rule, path, source in SELF_TEST_CASES:
+        findings = []
+        files = {path: source, "src/x/a.hh": "#pragma once\n",
+                 "src/x/b.hh": "#pragma once\n",
+                 "src/x/e.hh": "#pragma once\n"}
+        check_banned_calls(path, source, findings)
+        check_snapshot_coverage(path, source, findings, files)
+        check_include_hygiene(path, source, findings, files)
+        check_style(path, source, findings)
+        if not any(f.rule == rule for f in findings):
+            failures.append(f"rule '{rule}' did not fire on its synthetic "
+                            f"bad input ({path})")
+    clean = ('#include "x/a.hh"\n\n'
+             '#include "fault/sim_error.hh"\n\n'
+             "void f() { HMM_CHECK(1 > 0, \"ok\"); }\n")
+    findings = []
+    check_banned_calls("src/x/a.cc", clean, findings)
+    check_style("src/x/a.cc", clean, findings)
+    if findings:
+        failures.append(f"clean input raised: {findings[0]}")
+    for f in failures:
+        print(f"self-test: {f}", file=sys.stderr)
+    print("lint --self-test: " +
+          ("FAIL" if failures else
+           f"all {len(SELF_TEST_CASES)} rules fire"), file=sys.stderr)
+    return 1 if failures else 0
+
+
+# --- driver ------------------------------------------------------------------
+
+def list_files(root):
+    out = subprocess.run(
+        ["git", "ls-files"], cwd=root, capture_output=True, text=True,
+        check=True)
+    return [f for f in out.stdout.splitlines()
+            if f.endswith(CXX_EXTENSIONS)]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="hmm repo-specific structural linter")
+    ap.add_argument("--root", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."))
+    ap.add_argument("files", nargs="*",
+                    help="files to lint (default: all tracked C++ sources)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every rule fires on synthetic bad input")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = os.path.abspath(args.root)
+
+    paths = args.files or list_files(root)
+    paths = [os.path.relpath(os.path.join(root, p), root).replace(
+        os.sep, "/") for p in paths]
+
+    all_files = {}
+    for p in paths:
+        try:
+            with open(os.path.join(root, p), encoding="utf-8") as f:
+                all_files[p] = f.read()
+        except OSError as e:
+            print(f"{p}: unreadable: {e}", file=sys.stderr)
+            return 2
+
+    findings = []
+    for p, text in all_files.items():
+        check_banned_calls(p, text, findings)
+        check_snapshot_coverage(p, text, findings, all_files)
+        check_include_hygiene(p, text, findings, all_files)
+        check_style(p, text, findings)
+
+    findings.sort(key=lambda f: (f.path, f.line))
+    for f in findings:
+        print(f)
+    n_files = len(all_files)
+    if findings:
+        print(f"\nlint: {len(findings)} finding(s) in {n_files} files",
+              file=sys.stderr)
+        return 1
+    print(f"lint: clean ({n_files} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

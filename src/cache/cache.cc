@@ -1,6 +1,6 @@
 #include "cache/cache.hh"
 
-#include <cassert>
+#include "fault/sim_error.hh"
 
 namespace hmm {
 
@@ -10,7 +10,8 @@ Cache::Cache(const CacheConfig& cfg)
       line_shift_(log2_exact(cfg.line_bytes)),
       lines_(sets_ * cfg.ways),
       hand_(sets_, 0) {
-  assert(sets_ > 0 && is_pow2(sets_));
+  HMM_CHECK(sets_ > 0 && is_pow2(sets_),
+            "cache geometry must yield a power-of-two set count");
 }
 
 std::uint64_t Cache::set_of(PhysAddr addr) const noexcept {

@@ -20,7 +20,8 @@ class DramCache {
  public:
   /// `raw_capacity` is the physical DRAM size; 1/16 of it holds tags, so
   /// the usable data capacity is 15/16 of it.
-  explicit DramCache(std::uint64_t raw_capacity = params::kSec2OnPackageCapacity,
+  explicit DramCache(
+      std::uint64_t raw_capacity = params::kSec2OnPackageCapacity,
                      Cycle on_package_latency = params::kOnPackageFixedLatency);
 
   struct Result {

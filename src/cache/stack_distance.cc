@@ -1,7 +1,7 @@
 #include "cache/stack_distance.hh"
 
 #include <algorithm>
-#include <cassert>
+#include "fault/sim_error.hh"
 
 #include "common/units.hh"
 
@@ -13,7 +13,8 @@ StackDistanceProfiler::StackDistanceProfiler(
       line_shift_(log2_exact(line_bytes)),
       tree_(1 << 16, 0),
       hits_at_(capacities_.size() + 1, 0) {
-  assert(std::is_sorted(capacities_.begin(), capacities_.end()));
+  HMM_CHECK(std::is_sorted(capacities_.begin(), capacities_.end()),
+            "stack-distance capacities must be sorted ascending");
 }
 
 void StackDistanceProfiler::fenwick_add(std::uint64_t pos,
@@ -75,7 +76,7 @@ void StackDistanceProfiler::access(PhysAddr addr) {
 }
 
 double StackDistanceProfiler::miss_ratio(std::size_t i) const {
-  assert(i < capacities_.size());
+  HMM_CHECK(i < capacities_.size(), "capacity index out of range");
   // hits_at_[k] counts accesses whose smallest-fitting capacity index is k;
   // capacity i hits everything with index <= i.
   std::uint64_t hits = 0;
@@ -85,7 +86,7 @@ double StackDistanceProfiler::miss_ratio(std::size_t i) const {
 }
 
 double StackDistanceProfiler::warm_miss_ratio(std::size_t i) const {
-  assert(i < capacities_.size());
+  HMM_CHECK(i < capacities_.size(), "capacity index out of range");
   std::uint64_t hits = 0;
   for (std::size_t k = 0; k <= i; ++k) hits += hits_at_[k];
   const std::uint64_t warm = accesses_ - cold_misses_;

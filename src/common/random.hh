@@ -5,7 +5,7 @@
 // the unspecified std::default_random_engine.
 #pragma once
 
-#include <cassert>
+#include "fault/sim_error.hh"
 #include <cmath>
 #include <cstdint>
 
@@ -38,8 +38,8 @@ class Pcg32 {
   }
 
   /// Uniform in [0, bound), bound > 0. Lemire-style rejection for no bias.
-  std::uint32_t bounded(std::uint32_t bound) noexcept {
-    assert(bound > 0);
+  std::uint32_t bounded(std::uint32_t bound) {
+    HMM_CHECK(bound > 0, "Pcg32::bounded requires bound > 0");
     const std::uint32_t threshold = (-bound) % bound;
     for (;;) {
       const std::uint32_t r = next();
@@ -48,8 +48,8 @@ class Pcg32 {
   }
 
   /// Uniform in [0, bound), 64-bit bound > 0.
-  std::uint64_t bounded64(std::uint64_t bound) noexcept {
-    assert(bound > 0);
+  std::uint64_t bounded64(std::uint64_t bound) {
+    HMM_CHECK(bound > 0, "Pcg32::bounded64 requires bound > 0");
     if (bound <= 1) return 0;
     const std::uint64_t threshold = (-bound) % bound;
     for (;;) {

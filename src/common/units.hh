@@ -1,7 +1,7 @@
 // Byte-size units and small helpers for powers of two.
 #pragma once
 
-#include <cassert>
+#include "fault/sim_error.hh"
 #include <cstdint>
 #include <string>
 
@@ -23,9 +23,9 @@ inline constexpr std::uint64_t GiB = 1024ull * MiB;
   return n;
 }
 
-/// log2 of a power of two; asserts exactness.
-[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t x) noexcept {
-  assert(is_pow2(x));
+/// log2 of a power of two; throws SimError if x is not one.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t x) {
+  HMM_CHECK(is_pow2(x), "log2_exact needs a power of two");
   return log2_floor(x);
 }
 
@@ -43,9 +43,12 @@ inline constexpr std::uint64_t GiB = 1024ull * MiB;
 
 /// "4KB", "512MB", "1GB", "640B" — human-readable size for reports.
 [[nodiscard]] inline std::string format_size(std::uint64_t bytes) {
-  if (bytes >= GiB && bytes % GiB == 0) return std::to_string(bytes / GiB) + "GB";
-  if (bytes >= MiB && bytes % MiB == 0) return std::to_string(bytes / MiB) + "MB";
-  if (bytes >= KiB && bytes % KiB == 0) return std::to_string(bytes / KiB) + "KB";
+  if (bytes >= GiB && bytes % GiB == 0)
+    return std::to_string(bytes / GiB) + "GB";
+  if (bytes >= MiB && bytes % MiB == 0)
+    return std::to_string(bytes / MiB) + "MB";
+  if (bytes >= KiB && bytes % KiB == 0)
+    return std::to_string(bytes / KiB) + "KB";
   return std::to_string(bytes) + "B";
 }
 

@@ -100,6 +100,9 @@ class HeteroMemoryController {
   /// Cross-layer invariant audit (hotness trackers; the table has its own
   /// validate()); returns an error description or empty string.
   [[nodiscard]] std::string audit() const;
+  /// Test-only: the multi-queue tracker, exposed so auditor tests can
+  /// corrupt it and prove the audit path surfaces the mismatch.
+  [[nodiscard]] MultiQueueTracker& mq_for_test() noexcept { return mq_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ControllerConfig& config() const noexcept { return cfg_; }
 
@@ -112,7 +115,7 @@ class HeteroMemoryController {
  private:
   void consider_swap(Cycle now);
 
-  ControllerConfig cfg_;
+  ControllerConfig cfg_;  // no-snapshot(construction-time config)
   TranslationTable table_;
   MigrationEngine engine_;
   SlotClockTracker slot_tracker_;

@@ -47,7 +47,8 @@ struct Geometry {
     return machine_page << page_shift();
   }
   /// Sub-block index of an in-page offset.
-  [[nodiscard]] std::uint32_t sub_block_of(std::uint64_t offset) const noexcept {
+  [[nodiscard]] std::uint32_t sub_block_of(
+      std::uint64_t offset) const noexcept {
     return static_cast<std::uint32_t>(offset / sub_block_bytes);
   }
   [[nodiscard]] std::uint32_t sub_blocks_per_page() const noexcept {

@@ -124,6 +124,14 @@ std::uint64_t MultiQueueTracker::bits(unsigned page_id_bits) const noexcept {
   return static_cast<std::uint64_t>(levels_) * capacity_ * page_id_bits;
 }
 
+void MultiQueueTracker::corrupt_entry_for_test() noexcept {
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    q.front().page += 1'000'000;  // index_ still holds the old id
+    return;
+  }
+}
+
 std::string MultiQueueTracker::validate() const {
   std::size_t entries = 0;
   for (unsigned l = 0; l < levels_; ++l) {

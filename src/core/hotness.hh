@@ -104,6 +104,12 @@ class MultiQueueTracker {
   /// auditor; returns an error description or empty string.
   [[nodiscard]] std::string validate() const;
 
+  // --- fault-injection hook (tests only) -----------------------------------
+  /// Forge the page id of one queued entry without updating index_ — the
+  /// next validate() must report the index/queue disagreement. No-op when
+  /// nothing is tracked.
+  void corrupt_entry_for_test() noexcept;
+
   // Queues carry the full state; index_ is rebuilt on restore via reindex().
   void save(snap::Writer& w) const;
   void restore(snap::Reader& r);
@@ -128,6 +134,7 @@ class MultiQueueTracker {
   unsigned capacity_;
   // queues_[l] ordered MRU-first.
   std::vector<std::vector<Entry>> queues_;
+  // no-snapshot(rebuilt from queues_ by reindex() during restore)
   std::unordered_map<PageId, Pos> index_;
 };
 

@@ -388,20 +388,27 @@ void MigrationEngine::enter_degraded(Cycle at) {
   degraded_at_ = at;
 }
 
-void MigrationEngine::apply(const TableMutation& m) {
-  ++stats_.table_updates;
+void MigrationEngine::apply_mutation(TranslationTable& table,
+                                     const TableMutation& m) {
   switch (m.kind) {
-    case TableMutation::Kind::SetRow: table_.set_row(m.row, m.page); break;
-    case TableMutation::Kind::SetRowEmpty: table_.set_row_empty(m.row); break;
-    case TableMutation::Kind::SetPending: table_.set_pending(m.row, true); break;
+    case TableMutation::Kind::SetRow: table.set_row(m.row, m.page); break;
+    case TableMutation::Kind::SetRowEmpty: table.set_row_empty(m.row); break;
+    case TableMutation::Kind::SetPending: table.set_pending(m.row, true); break;
     case TableMutation::Kind::ClearPending:
-      table_.set_pending(m.row, false);
+      table.set_pending(m.row, false);
       break;
-    case TableMutation::Kind::NoteData: table_.note_data_at(m.page, m.machine); break;
+    case TableMutation::Kind::NoteData:
+      table.note_data_at(m.page, m.machine);
+      break;
     case TableMutation::Kind::SetOccupant:
-      table_.set_occupant(m.row, m.page);
+      table.set_occupant(m.row, m.page);
       break;
   }
+}
+
+void MigrationEngine::apply(const TableMutation& m) {
+  ++stats_.table_updates;
+  apply_mutation(table_, m);
 }
 
 void MigrationEngine::finish_step(Cycle at) {

@@ -153,6 +153,12 @@ class MigrationEngine {
                                                 std::uint32_t hot_sub_block,
                                                 SlotId cold_slot) const;
 
+  /// Applies one table mutation to `table` — the single definition of what
+  /// each TableMutation kind means, shared between the live engine and the
+  /// choreography model checker (src/verify/) so the checker can never
+  /// silently diverge from the semantics it is meant to prove.
+  static void apply_mutation(TranslationTable& table, const TableMutation& m);
+
   // --- checkpoint/restore --------------------------------------------------
   // Serializes the full mid-swap state (remaining steps with their pending
   // table mutations, chunk bookkeeping, in-flight chunk keys, retry
@@ -187,7 +193,7 @@ class MigrationEngine {
   TranslationTable& table_;
   DramSystem& on_;
   DramSystem& off_;
-  Config cfg_;
+  Config cfg_;  // no-snapshot(construction-time config)
   Stats stats_;
 
   std::vector<CopyStep> steps_;  ///< remaining steps, front = current

@@ -137,7 +137,7 @@ class TranslationTable {
 
   [[nodiscard]] PageId shadow_location(PageId p) const noexcept;
 
-  Geometry geom_;
+  Geometry geom_;  // no-snapshot(construction-time config)
   TableMode mode_;
   PageId slots_;  ///< N
   std::vector<RowState> rows_;

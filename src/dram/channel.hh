@@ -64,7 +64,9 @@ class DramChannel {
     return service_time_;
   }
   [[nodiscard]] std::uint64_t row_hits() const noexcept { return row_hits_; }
-  [[nodiscard]] std::uint64_t row_misses() const noexcept { return row_misses_; }
+  [[nodiscard]] std::uint64_t row_misses() const noexcept {
+    return row_misses_;
+  }
   [[nodiscard]] std::uint64_t demand_bytes() const noexcept {
     return demand_bytes_;
   }
@@ -118,9 +120,9 @@ class DramChannel {
   /// Max time a request may be bypassed by younger row hits (~4 x tRC).
   static constexpr Cycle kStarvationLimit = 640;
 
-  DramTiming timing_;
-  AddressMapping mapping_;
-  SchedulerPolicy policy_;
+  DramTiming timing_;      // no-snapshot(construction-time config)
+  AddressMapping mapping_;  // no-snapshot(construction-time config)
+  SchedulerPolicy policy_;  // no-snapshot(construction-time config)
   std::vector<Bank> banks_;
   /// Reserve `span` cycles of data bus no earlier than `earliest`; the bus
   /// is a gap-aware schedule (data slots are assigned out of issue order),

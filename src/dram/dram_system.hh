@@ -83,8 +83,8 @@ class DramSystem {
 
  private:
   Region region_;
-  DramTiming timing_;
-  AddressMapping mapping_;
+  DramTiming timing_;      // no-snapshot(construction-time config)
+  AddressMapping mapping_;  // no-snapshot(construction-time config)
   std::vector<DramChannel> channels_;
   RequestId next_id_ = 0;
   fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null

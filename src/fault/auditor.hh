@@ -65,7 +65,7 @@ class InvariantAuditor {
  private:
   const TranslationTable& table_;
   const HeteroMemoryController* controller_;
-  std::uint64_t interval_;
+  std::uint64_t interval_;  // no-snapshot(construction-time config)
   std::uint64_t since_audit_ = 0;
   std::uint64_t audits_ = 0;
   // Fill-bitmap monotonicity: within one fill of the same page, the number

@@ -216,10 +216,10 @@ class FaultInjector {
     return static_cast<unsigned>(s);
   }
 
-  FaultPlan plan_;
+  FaultPlan plan_;  // no-snapshot(construction-time config)
   std::array<SiteState, kFaultSiteCount> sites_;
   Pcg32 payload_rng_;
-  bool enabled_ = false;
+  bool enabled_ = false;  // no-snapshot(derived from plan_ in ctor)
   std::uint64_t total_fires_ = 0;
   std::vector<FaultEvent> events_;
 };

@@ -28,7 +28,8 @@ struct EnergyBreakdown {
 class EnergyModel {
  public:
   /// Energy of moving `bytes` through one region's core + link.
-  [[nodiscard]] static double access_pj(Region r, std::uint64_t bytes) noexcept {
+  [[nodiscard]] static double access_pj(Region r,
+                                        std::uint64_t bytes) noexcept {
     const double bits = static_cast<double>(bytes) * 8.0;
     const double link = r == Region::OnPackage
                             ? params::kOnPackageLinkPjPerBit

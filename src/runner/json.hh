@@ -6,7 +6,7 @@
 // that compute identical doubles produce byte-identical files.
 #pragma once
 
-#include <cassert>
+#include "fault/sim_error.hh"
 #include <cstdint>
 #include <cstdio>
 #include <ostream>
@@ -28,7 +28,8 @@ class JsonWriter {
 
   /// Emits `"name":` inside an object; follow with a value or container.
   JsonWriter& key(std::string_view name) {
-    assert(!stack_.empty() && stack_.back().is_object);
+    HMM_CHECK(!stack_.empty() && stack_.back().is_object,
+              "JsonWriter::key() is only valid inside an object");
     separate();
     write_string(name);
     os_ << ": ";
@@ -87,7 +88,8 @@ class JsonWriter {
   }
 
   JsonWriter& close(char c) {
-    assert(!stack_.empty());
+    HMM_CHECK(!stack_.empty(),
+              "JsonWriter::close() without a matching open");
     const bool had_items = stack_.back().has_items;
     stack_.pop_back();
     if (had_items) {

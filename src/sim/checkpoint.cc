@@ -81,10 +81,9 @@ void save_checkpoint(const std::string& path, const CheckpointMeta& meta,
     snap::snapshot_error("cannot write checkpoint file " + path);
 }
 
-std::optional<CheckpointMeta> load_checkpoint(const std::string& path,
-                                              std::uint64_t expected_fingerprint,
-                                              SyntheticWorkload& workload,
-                                              MemSim& sim) {
+std::optional<CheckpointMeta> load_checkpoint(
+    const std::string& path, std::uint64_t expected_fingerprint,
+    SyntheticWorkload& workload, MemSim& sim) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return std::nullopt;
   std::vector<std::uint8_t> buf(

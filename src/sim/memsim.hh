@@ -102,12 +102,13 @@ class MemSim {
   /// the engine holds an unfinished swap but nothing is in flight anywhere.
   void check_wedged() const;
 
-  MemSimConfig cfg_;
+  MemSimConfig cfg_;  // no-snapshot(construction-time config)
   DramSystem on_;
   DramSystem off_;
   HeteroMemoryController ctl_;
   fault::FaultInjector injector_;
   fault::InvariantAuditor auditor_;
+  // no-snapshot(host wall-clock; meaningless across processes)
   std::chrono::steady_clock::time_point started_;
   std::uint64_t deadline_check_ = 0;
 

@@ -55,11 +55,11 @@ struct RunResult {
   /// The paper's effectiveness metric (Section IV-B):
   ///   η = (Lat_nomig − Lat_mig) / (Lat_nomig − DRAM core latency).
   [[nodiscard]] static double effectiveness(double lat_no_migration,
-                                            double lat_with_migration) noexcept {
+                                            double with_migration) noexcept {
     const double denom =
         lat_no_migration - static_cast<double>(params::kDramCoreLatency);
     if (denom <= 0) return 0.0;
-    return (lat_no_migration - lat_with_migration) / denom;
+    return (lat_no_migration - with_migration) / denom;
   }
 };
 

@@ -1,7 +1,6 @@
 #include "sim/tuner.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace hmm {
 
@@ -35,7 +34,8 @@ ProbeResult GranularityTuner::probe(const WorkloadFactory& make,
 
 TunerOutcome GranularityTuner::tune(const WorkloadFactory& make,
                                     std::uint64_t seed) const {
-  assert(!cfg_.candidate_pages.empty());
+  HMM_CHECK(!cfg_.candidate_pages.empty(),
+            "granularity tuner needs at least one candidate page size");
   TunerOutcome out;
   std::vector<std::uint64_t> survivors = cfg_.candidate_pages;
   std::uint64_t window = cfg_.probe_accesses;

@@ -1,7 +1,7 @@
 #include "trace/characterize.hh"
 
 #include <algorithm>
-#include <cassert>
+#include "fault/sim_error.hh"
 
 #include "common/units.hh"
 
@@ -10,7 +10,8 @@ namespace hmm {
 TraceCharacterizer::TraceCharacterizer(
     std::uint64_t page_bytes, std::vector<std::uint64_t> coverage_points)
     : page_bytes_(page_bytes), coverage_points_(std::move(coverage_points)) {
-  assert(is_pow2(page_bytes_));
+  HMM_CHECK(is_pow2(page_bytes_),
+            "trace characterizer page size must be a power of two");
   std::sort(coverage_points_.begin(), coverage_points_.end());
 }
 

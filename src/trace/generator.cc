@@ -1,13 +1,12 @@
 #include "trace/generator.hh"
 
-#include <cassert>
-
 namespace hmm {
 
 SyntheticWorkload::SyntheticWorkload(Params p,
                                      std::vector<MixtureComponent> components)
     : p_(std::move(p)), comps_(std::move(components)), rng_(p_.seed) {
-  assert(!comps_.empty());
+  HMM_CHECK(!comps_.empty(),
+            "a synthetic workload needs at least one mixture component");
   double total = 0.0;
   for (const auto& c : comps_) {
     total += c.weight;

@@ -59,8 +59,9 @@ class SyntheticWorkload {
   void restore(snap::Reader& r);
 
  private:
-  Params p_;
+  Params p_;  // no-snapshot(construction-time config)
   std::vector<MixtureComponent> comps_;
+  // no-snapshot(derived from the component weights in the ctor)
   std::vector<double> cum_weight_;
   Pcg32 rng_;
   Cycle now_ = 0;

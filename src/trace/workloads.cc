@@ -1,7 +1,6 @@
 #include "trace/workloads.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 
 #include "common/params.hh"
@@ -108,8 +107,9 @@ std::unique_ptr<SyntheticWorkload> make_pgbench(std::uint64_t seed) {
   p.phase_length = 400'000;
   p.seed = seed;
   std::vector<MixtureComponent> c;
-  c.push_back(comp(std::make_unique<ZipfPattern>(0, p.footprint_bytes - 256 * MiB,
-                                                 8 * KiB, 1.05, true, 16),
+  c.push_back(comp(std::make_unique<ZipfPattern>(
+                       0, p.footprint_bytes - 256 * MiB, 8 * KiB, 1.05,
+                       true, 16),
                    0.78));
   c.push_back(comp(std::make_unique<SequentialPattern>(
                        p.footprint_bytes - 256 * MiB, 256 * MiB, 64),
@@ -263,7 +263,8 @@ const std::map<std::string, NpbSpec>& npb_specs() {
 std::unique_ptr<SyntheticWorkload> make_npb(const std::string& name,
                                             std::uint64_t seed) {
   const auto it = npb_specs().find(name);
-  assert(it != npb_specs().end());
+  HMM_CHECK(it != npb_specs().end(),
+            "unknown NPB workload name: " + name);
   const NpbSpec& s = it->second;
 
   // CLASS C is unavailable for DC in NPB 3.3; the paper substitutes CLASS B.

@@ -4,7 +4,7 @@
 // footprint.
 #pragma once
 
-#include <cassert>
+#include "fault/sim_error.hh"
 #include <cmath>
 #include <cstdint>
 
@@ -16,7 +16,8 @@ class ZipfSampler {
  public:
   /// n >= 1 items, exponent s > 0 (s ~ 0.8-1.2 covers typical workloads).
   ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
-    assert(n >= 1 && s > 0.0);
+    HMM_CHECK(n >= 1 && s > 0.0,
+              "ZipfSampler needs n >= 1 items and exponent s > 0");
     h_x1_ = h_integral(1.5) - 1.0;
     h_n_ = h_integral(static_cast<double>(n) + 0.5);
     threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));

@@ -1,0 +1,134 @@
+// Exhaustive model checker for the Fig-8 swap choreography.
+//
+// The paper's safety argument — "the data under movement always has a
+// valid physical home, so execution never halts" (Section III-A) — is an
+// invariant over every *intermediate* state of the swap state machine,
+// not just its endpoints. The runtime InvariantAuditor and the fuzz tests
+// only sample that space; this checker enumerates it.
+//
+// Method: explicit-state breadth-first search over a small (but complete)
+// model geometry. A state is
+//     (translation table, ground-truth data placement, remaining plan,
+//      copy progress within the current step)
+// where the table is the *real* TranslationTable class, plans come from
+// the *real* MigrationEngine::plan_swap(), and table mutations are applied
+// through MigrationEngine::apply_mutation() — the checker shares the
+// production choreography code and can therefore not diverge from what it
+// is proving. Only the data movement itself is abstracted: the ground
+// truth records, per machine sub-block, whose page's data it currently
+// holds; a copy step moves ownership one sub-block at a time in the
+// engine's fill order (critical-data-first rotation for live fills).
+//
+// Transitions explored from each state:
+//   * start  — every (hot page, cold slot) pair the engine's can_swap()
+//              accepts, at every critical-first start sub-block;
+//   * advance — copy the next sub-block of the current step; step/plan
+//              completion applies the attached table mutations exactly as
+//              the engine's finish_step() does;
+//   * abort  — the swap dies at this boundary (covers every Fig-8 step
+//              boundary and every intra-step chunk boundary). Designs
+//              N-1/Live roll back to the last step boundary like
+//              MigrationEngine::abort_swap(); design N wedges, which the
+//              checker flags as the paper's documented stall.
+//
+// Invariants checked in every reachable state:
+//   1. TranslationTable::validate() is clean (encoding/placement/CAM/
+//      P-bit structural legality);
+//   2. single valid home — every macro page's translation, at every
+//      sub-block, resolves to a machine sub-block that actually holds
+//      that page's data, and no two pages resolve to the same machine
+//      sub-block;
+//   3. the live-fill bitmap never claims a sub-block whose data has not
+//      landed in the filling slot (P/F-vs-bitmap consistency);
+//   4. no reachable state wedges, except design N's documented stall,
+//      which must be *reached* (a run of design N with aborts enabled
+//      that never wedges means the model lost coverage, and is reported
+//      as a failure too).
+//
+// Design N stalls demand for the whole swap, so invariant 2 is asserted
+// only in its quiescent states (the checker counts the stall states it
+// skipped). Demand accesses are modelled as reads; write-forwarding
+// during migration is hardware-level and orthogonal to the routing
+// invariants checked here (see DESIGN.md §8).
+//
+// The `sabotage` knob deliberately mis-applies the choreography so tests
+// can prove the checker actually detects violations (non-vacuity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/geometry.hh"
+#include "core/migration.hh"
+
+namespace hmm::verify {
+
+/// Deliberate choreography corruptions used to self-test the checker.
+enum class Sabotage : std::uint8_t {
+  None,
+  /// Apply a step's table mutations when the step *starts* instead of when
+  /// its copy completes — the classic lost-home bug the Fig-8 ordering
+  /// exists to prevent.
+  ApplyMutationsEarly,
+  /// Drop every ClearPending mutation — the P bit outlives the relocation
+  /// it covers, so the row's left page is routed to Ω after its data left.
+  DropClearPending,
+  /// Mark a live-fill sub-block ready *before* its data lands — the F-bit
+  /// bitmap serves stale bytes from the filling slot.
+  MarkSubBlockEarly,
+};
+
+[[nodiscard]] constexpr const char* to_string(Sabotage s) noexcept {
+  switch (s) {
+    case Sabotage::None: return "none";
+    case Sabotage::ApplyMutationsEarly: return "apply-mutations-early";
+    case Sabotage::DropClearPending: return "drop-clear-pending";
+    case Sabotage::MarkSubBlockEarly: return "mark-sub-block-early";
+  }
+  return "?";
+}
+
+struct CheckerConfig {
+  MigrationDesign design = MigrationDesign::NMinus1;
+  /// Model geometry. The default (4 slots, 8 macro pages, 4 sub-blocks)
+  /// is the smallest geometry that exercises every Fig-8 case: OS/MS hot
+  /// pages, OF/MF victims, the ghost page refilling its own slot, and a
+  /// non-trivial critical-first rotation.
+  Geometry geom{/*total_bytes=*/32 * KiB, /*on_package_bytes=*/16 * KiB,
+                /*page_bytes=*/4 * KiB, /*sub_block_bytes=*/1 * KiB};
+  /// Explore the abort/crash transition at every copy boundary.
+  bool explore_aborts = true;
+  /// Safety valve: exceeding this is reported as a verification failure
+  /// (the exhaustiveness claim would otherwise silently become sampling).
+  std::uint64_t max_states = 4'000'000;
+  /// Cap on collected violation messages (exploration stops at the cap).
+  std::size_t max_violations = 16;
+  Sabotage sabotage = Sabotage::None;
+};
+
+struct CheckerReport {
+  MigrationDesign design = MigrationDesign::NMinus1;
+  std::uint64_t states_explored = 0;   ///< distinct states visited
+  std::uint64_t transitions = 0;       ///< edges taken (incl. duplicates)
+  std::uint64_t quiescent_states = 0;  ///< engine idle
+  std::uint64_t in_flight_states = 0;  ///< mid-choreography
+  std::uint64_t swaps_started = 0;     ///< `start` transitions
+  std::uint64_t aborts_injected = 0;   ///< `abort` transitions
+  std::uint64_t wedge_states = 0;      ///< design N terminal stalls
+  std::uint64_t degraded_states = 0;   ///< N-1 empty-slot-lost terminals
+  std::uint64_t stall_states = 0;      ///< design N mid-swap (demand held)
+  std::uint64_t demand_checks = 0;     ///< page x sub-block read probes
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Runs the exhaustive exploration for one design. Deterministic: the
+/// same config always visits the same states in the same order.
+[[nodiscard]] CheckerReport check_choreography(const CheckerConfig& cfg);
+
+/// Human-readable one-design summary (multi-line, trailing newline).
+[[nodiscard]] std::string format_report(const CheckerReport& r);
+
+}  // namespace hmm::verify

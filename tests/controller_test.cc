@@ -67,7 +67,8 @@ TEST(Controller, HotOffPackagePageGetsMigrated) {
   Rig rig(base_cfg());
   // Hammer off-package page 20; untouched on-package slots are colder.
   Cycle now = 0;
-  for (int i = 0; i < 400; ++i) rig.access(20 * kPage + (i % 64) * 64, now += 20);
+  for (int i = 0; i < 400; ++i)
+    rig.access(20 * kPage + (i % 64) * 64, now += 20);
   EXPECT_GT(rig.ctl.engine().stats().swaps_completed, 0u);
   EXPECT_EQ(rig.ctl.table().translate(20 * kPage).region, Region::OnPackage);
 }

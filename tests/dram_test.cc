@@ -59,14 +59,16 @@ TEST(AddressMapping, XorFoldSpreadsPowerOfTwoStrides) {
 }
 
 TEST(AddressMapping, NoFoldKeepsPlainDecode) {
-  const AddressMapping map(1, on_timing(), AddressMapping::Scheme::RowBankColChan,
+  const AddressMapping map(1, on_timing(),
+                           AddressMapping::Scheme::RowBankColChan,
                            64, /*xor_fold=*/false);
   EXPECT_EQ(map.decode(0).bank, 0u);
   EXPECT_EQ(map.decode(0).channel, 0u);
 }
 
 TEST(DramChannel, RowHitIsFasterThanConflict) {
-  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+  const AddressMapping map(1, off_timing(),
+                           AddressMapping::Scheme::RowBankColChan,
                            64, false);
   DramChannel ch(off_timing(), map);
 
@@ -93,7 +95,8 @@ TEST(DramChannel, RowHitIsFasterThanConflict) {
 }
 
 TEST(DramChannel, FrFcfsPrefersRowHit) {
-  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+  const AddressMapping map(1, off_timing(),
+                           AddressMapping::Scheme::RowBankColChan,
                            64, false);
   DramChannel ch(off_timing(), map);
   // Open row 0 in bank 0.
@@ -122,7 +125,8 @@ TEST(DramChannel, FrFcfsPrefersRowHit) {
 }
 
 TEST(DramChannel, FcfsServesInOrder) {
-  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+  const AddressMapping map(1, off_timing(),
+                           AddressMapping::Scheme::RowBankColChan,
                            64, false);
   DramChannel ch(off_timing(), map, SchedulerPolicy::Fcfs);
   DramRequest warm;
@@ -147,7 +151,8 @@ TEST(DramChannel, FcfsServesInOrder) {
 }
 
 TEST(DramChannel, StarvationControlBoundsBypass) {
-  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+  const AddressMapping map(1, off_timing(),
+                           AddressMapping::Scheme::RowBankColChan,
                            64, false);
   DramChannel ch(off_timing(), map);
   DramRequest warm;
@@ -179,7 +184,8 @@ TEST(DramChannel, StarvationControlBoundsBypass) {
 }
 
 TEST(DramChannel, BackgroundYieldsToDemand) {
-  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+  const AddressMapping map(1, off_timing(),
+                           AddressMapping::Scheme::RowBankColChan,
                            64, false);
   DramChannel ch(off_timing(), map);
   DramRequest bg;
@@ -199,7 +205,8 @@ TEST(DramChannel, BackgroundYieldsToDemand) {
 }
 
 TEST(DramChannel, StreamingChunkOccupiesBusProportionally) {
-  const AddressMapping map(1, off_timing(), AddressMapping::Scheme::RowBankColChan,
+  const AddressMapping map(1, off_timing(),
+                           AddressMapping::Scheme::RowBankColChan,
                            64, false);
   DramChannel ch(off_timing(), map);
   DramRequest chunk;

@@ -316,7 +316,12 @@ TEST(RunnerDurability, CrashingCellIsIsolatedAndSiblingsComplete) {
   for (std::size_t i = 0; i < grid.size(); ++i) {
     grid[i].key = "cell" + std::to_string(i);
     grid[i].job = [i](std::uint64_t) {
-      if (i == 1) std::raise(SIGSEGV);  // the cell dies, not the sweep
+      // SIGKILL rather than SIGSEGV: sanitizer builds install a SEGV
+      // handler that turns the crash into a plain exit(1), which would
+      // misclassify the cell as "error". Nothing intercepts SIGKILL, so
+      // the supervisor sees a signal death in every build flavor (it is
+      // also exactly what an OOM kill looks like).
+      if (i == 1) std::raise(SIGKILL);  // the cell dies, not the sweep
       RunResult r;
       r.accesses = 100 + i;
       return r;

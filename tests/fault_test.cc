@@ -323,6 +323,79 @@ TEST(InvariantAuditorTest, DetectsAFlippedOccupantBit) {
   }
 }
 
+TEST(InvariantAuditorTest, CorruptedTableRowNamesTheTableInItsError) {
+  const Geometry g{16 * MiB, 4 * MiB, 512 * KiB, 64 * KiB};
+  TranslationTable table(g, TableMode::HardwareNMinus1);
+  fault::InvariantAuditor auditor(table, nullptr, 1);
+
+  SlotId occupied = 0;
+  while (table.occupant(occupied) == kInvalidPage) ++occupied;
+  table.flip_occupant_bit(occupied, 20);
+  try {
+    auditor.audit();
+    FAIL() << "corrupted table row passed the audit";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::AuditFailed);
+    EXPECT_NE(std::string(e.what()).find("translation table:"),
+              std::string::npos);
+  }
+}
+
+TEST(InvariantAuditorTest, MultiQueueMismatchSurfacesThroughTheController) {
+  ControllerConfig cfg;
+  cfg.geom = Geometry{16 * MiB, 4 * MiB, 512 * KiB, 64 * KiB};
+  cfg.design = MigrationDesign::NMinus1;
+  cfg.swap_interval = 1'000'000;  // monitor only; no swap mid-test
+  DramSystem on(Region::OnPackage, DramTiming::on_package_sip(), 1,
+                SchedulerPolicy::FrFcfs);
+  DramSystem off(Region::OffPackage, DramTiming::off_package_ddr3_1333(), 4,
+                 SchedulerPolicy::FrFcfs);
+  HeteroMemoryController ctl(cfg, on, off);
+  fault::InvariantAuditor auditor(ctl.table(), &ctl, 1);
+
+  // Touch a few off-package pages so the multi-queue tracker has entries.
+  for (int i = 0; i < 4; ++i)
+    (void)ctl.on_access((20 + i) * 512 * KiB, AccessType::Read, 10 * i);
+  EXPECT_NO_THROW(auditor.audit());
+
+  ctl.mq_for_test().corrupt_entry_for_test();
+  try {
+    auditor.audit();
+    FAIL() << "multi-queue index/queue mismatch passed the audit";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::AuditFailed);
+    EXPECT_NE(std::string(e.what()).find("multi-queue tracker:"),
+              std::string::npos);
+  }
+}
+
+TEST(InvariantAuditorTest, NonMonotonicFillBitmapRaisesAuditFailed) {
+  const Geometry g{16 * MiB, 4 * MiB, 512 * KiB, 64 * KiB};
+  TranslationTable table(g, TableMode::HardwareNMinus1);
+  fault::InvariantAuditor auditor(table, nullptr, 1);
+
+  const SlotId slot = *table.empty_slot();
+  const PageId incoming = 20;
+  table.begin_fill(slot, incoming, /*old_base=*/incoming * g.page_bytes);
+  table.mark_sub_block(0);
+  table.mark_sub_block(1);
+  EXPECT_NO_THROW(auditor.audit());  // records ready == 2 for this page
+
+  // A buggy engine restarts the same page's fill with fewer sub-blocks
+  // landed: the audit must flag the bitmap going backwards mid-fill.
+  table.end_fill();
+  table.begin_fill(slot, incoming, incoming * g.page_bytes);
+  table.mark_sub_block(0);
+  try {
+    auditor.audit();
+    FAIL() << "non-monotonic fill bitmap passed the audit";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::AuditFailed);
+    EXPECT_NE(std::string(e.what()).find("fill bitmap lost sub-blocks"),
+              std::string::npos);
+  }
+}
+
 // --- MemSim: watchdog, deadline, end-to-end fault storms --------------------
 
 MemSimConfig sim_cfg(MigrationDesign d, bool migration = true) {

@@ -1,0 +1,92 @@
+// Unit tests for the choreography model checker (src/verify/): the
+// shipped designs verify clean, design N's documented stall is reached,
+// and — crucially — a deliberately broken choreography is *detected*
+// (the checker is not vacuous). The full three-design exhaustive runs
+// are registered separately as verify.modelcheck.* ctests.
+#include "verify/choreography.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace hmm::verify {
+namespace {
+
+CheckerConfig small_config(MigrationDesign d) {
+  CheckerConfig cfg;
+  cfg.design = d;
+  return cfg;  // default geometry: 4 slots x 8 pages x 4 sub-blocks
+}
+
+TEST(ChoreographyChecker, NMinus1HoldsAllInvariantsExhaustively) {
+  const CheckerReport r = check_choreography(small_config(
+      MigrationDesign::NMinus1));
+  EXPECT_TRUE(r.ok()) << format_report(r);
+  EXPECT_GT(r.states_explored, 10'000u);
+  EXPECT_GT(r.in_flight_states, 0u);
+  EXPECT_EQ(r.wedge_states, 0u);
+  // Aborts that consume the empty slot must land in degraded mode (traffic
+  // still served), never a wedge.
+  EXPECT_GT(r.degraded_states, 0u);
+  EXPECT_GT(r.aborts_injected, 0u);
+}
+
+TEST(ChoreographyChecker, DesignNReachesOnlyItsDocumentedStall) {
+  const CheckerReport r = check_choreography(small_config(MigrationDesign::N));
+  EXPECT_TRUE(r.ok()) << format_report(r);
+  EXPECT_GT(r.stall_states, 0u);  // demand held during every swap
+  EXPECT_GT(r.wedge_states, 0u);  // every mid-swap crash wedges, as documented
+  EXPECT_EQ(r.degraded_states, 0u);
+}
+
+TEST(ChoreographyChecker, ReportsAreDeterministic) {
+  const CheckerConfig cfg = small_config(MigrationDesign::NMinus1);
+  const CheckerReport a = check_choreography(cfg);
+  const CheckerReport b = check_choreography(cfg);
+  EXPECT_EQ(a.states_explored, b.states_explored);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.demand_checks, b.demand_checks);
+}
+
+TEST(ChoreographyChecker, DetectsMutationsAppliedBeforeTheCopyLands) {
+  CheckerConfig cfg = small_config(MigrationDesign::NMinus1);
+  cfg.sabotage = Sabotage::ApplyMutationsEarly;
+  const CheckerReport r = check_choreography(cfg);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(format_report(r).find("does not hold its data"),
+            std::string::npos);
+}
+
+TEST(ChoreographyChecker, DetectsADroppedClearPendingMutation) {
+  CheckerConfig cfg = small_config(MigrationDesign::NMinus1);
+  cfg.sabotage = Sabotage::DropClearPending;
+  EXPECT_FALSE(check_choreography(cfg).ok());
+}
+
+TEST(ChoreographyChecker, DetectsPrematureFillBitmapMarks) {
+  CheckerConfig cfg = small_config(MigrationDesign::LiveMigration);
+  cfg.sabotage = Sabotage::MarkSubBlockEarly;
+  const CheckerReport r = check_choreography(cfg);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ChoreographyChecker, RefusesAModelTooSmallForEveryFig8Case) {
+  CheckerConfig cfg = small_config(MigrationDesign::NMinus1);
+  cfg.geom.on_package_bytes = 2 * cfg.geom.page_bytes;  // 2 slots
+  cfg.geom.total_bytes = 4 * cfg.geom.page_bytes;
+  const CheckerReport r = check_choreography(cfg);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(format_report(r).find(">= 3 on-package slots"),
+            std::string::npos);
+}
+
+TEST(ChoreographyChecker, StateSpaceCapIsReportedNotSilentlyTruncated) {
+  CheckerConfig cfg = small_config(MigrationDesign::NMinus1);
+  cfg.max_states = 100;
+  const CheckerReport r = check_choreography(cfg);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(format_report(r).find("exhaustiveness"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmm::verify
