@@ -298,9 +298,9 @@ inline void report_artifact(const std::string& path) {
   const auto warm = static_cast<std::uint64_t>(
       static_cast<double>(n) * warmup_fraction);
   if (warm > 0) {
-    if (instant_warmup) sim.controller().set_instant_migration(true);
+    if (instant_warmup) sim.set_instant_migration(true);
     sim.run(*gen, warm);
-    sim.controller().set_instant_migration(false);
+    sim.set_instant_migration(false);
     sim.reset_stats();
   }
   sim.run(*gen, n - warm);

@@ -222,6 +222,12 @@ def check_snapshot_coverage(path, text, findings, all_files):
         if "save(snap::Writer" not in body or \
            "restore(snap::Reader" not in body:
             continue
+        # Abstract interfaces (pure-virtual save/restore, e.g. the
+        # MemoryScheme contract) have no body and no state of their own;
+        # every concrete implementation is checked at its own definition.
+        if re.search(r"save\s*\(snap::Writer[^)]*\)\s*const\s*=\s*0", body) \
+           and re.search(r"restore\s*\(snap::Reader[^)]*\)\s*=\s*0", body):
+            continue
         save_body = (
             extract_function_body(body, re.compile(
                 r"void\s+save\s*\(snap::Writer[^)]*\)\s*const"))
@@ -367,6 +373,17 @@ SELF_TEST_CASES = [
      "  void save(snap::Writer& w) const {}\n"
      "  void restore(snap::Reader& r) {}\n private:\n"
      "  int dropped_ = 0;\n};\n"),
+    # A non-abstract class whose save() body exists but skips a member
+    # still fires even when an abstract interface sits in the same file
+    # (the pure-virtual exemption must not leak onto implementations).
+    ("snapshot-coverage", "src/x/f.hh",
+     "#pragma once\nclass Iface {\n public:\n"
+     "  virtual void save(snap::Writer& w) const = 0;\n"
+     "  virtual void restore(snap::Reader& r) = 0;\n};\n"
+     "class Impl : public Iface {\n public:\n"
+     "  void save(snap::Writer& w) const override {}\n"
+     "  void restore(snap::Reader& r) override {}\n private:\n"
+     "  int dropped_ = 0;\n};\n"),
     ("include-hygiene", "src/x/d.hh",
      "#include <vector>\nusing namespace std;\n"),
     ("style", "src/x/e.cc",
@@ -399,6 +416,16 @@ def self_test():
     check_style("src/x/a.cc", clean, findings)
     if findings:
         failures.append(f"clean input raised: {findings[0]}")
+    # The pure-virtual exemption: an abstract save/restore contract with
+    # no state must stay silent (it has no body to check anywhere).
+    iface = ("#pragma once\nclass Iface {\n public:\n"
+             "  virtual void save(snap::Writer& w) const = 0;\n"
+             "  virtual void restore(snap::Reader& r) = 0;\n};\n")
+    findings = []
+    check_snapshot_coverage("src/x/g.hh", iface, findings,
+                            {"src/x/g.hh": iface})
+    if findings:
+        failures.append(f"abstract interface raised: {findings[0]}")
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
     print("lint --self-test: " +

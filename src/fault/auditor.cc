@@ -10,35 +10,50 @@ namespace hmm::fault {
 InvariantAuditor::InvariantAuditor(const TranslationTable& table,
                                    const HeteroMemoryController* controller,
                                    std::uint64_t interval)
-    : table_(table), controller_(controller), interval_(interval) {}
+    : table_(&table),
+      controller_(controller),
+      subject_(nullptr),
+      interval_(interval) {}
+
+InvariantAuditor::InvariantAuditor(const Auditable* subject,
+                                   std::uint64_t interval)
+    : table_(nullptr),
+      controller_(nullptr),
+      subject_(subject),
+      interval_(interval) {}
 
 void InvariantAuditor::audit() {
   ++audits_;
 
-  const std::string table_err = table_.validate();
-  if (!table_err.empty())
-    throw SimError(SimErrorKind::AuditFailed,
-                   "translation table: " + table_err);
-
-  if (table_.fill_active() && table_.fill_page() == last_fill_page_) {
-    const std::uint32_t ready = table_.fill_ready_count();
-    if (ready < last_fill_ready_)
+  const TranslationTable* t =
+      subject_ != nullptr ? subject_->audited_table() : table_;
+  if (t != nullptr) {
+    const std::string table_err = t->validate();
+    if (!table_err.empty())
       throw SimError(SimErrorKind::AuditFailed,
-                     "fill bitmap lost sub-blocks mid-fill");
-    last_fill_ready_ = ready;
-  } else if (table_.fill_active()) {
-    last_fill_page_ = table_.fill_page();
-    last_fill_ready_ = table_.fill_ready_count();
-  } else {
-    last_fill_page_ = kInvalidPage;
-    last_fill_ready_ = 0;
+                     "translation table: " + table_err);
+
+    if (t->fill_active() && t->fill_page() == last_fill_page_) {
+      const std::uint32_t ready = t->fill_ready_count();
+      if (ready < last_fill_ready_)
+        throw SimError(SimErrorKind::AuditFailed,
+                       "fill bitmap lost sub-blocks mid-fill");
+      last_fill_ready_ = ready;
+    } else if (t->fill_active()) {
+      last_fill_page_ = t->fill_page();
+      last_fill_ready_ = t->fill_ready_count();
+    } else {
+      last_fill_page_ = kInvalidPage;
+      last_fill_ready_ = 0;
+    }
   }
 
-  if (controller_ != nullptr) {
-    const std::string ctl_err = controller_->audit();
-    if (!ctl_err.empty())
-      throw SimError(SimErrorKind::AuditFailed, ctl_err);
-  }
+  std::string err;
+  if (subject_ != nullptr)
+    err = subject_->audit_check();
+  else if (controller_ != nullptr)
+    err = controller_->audit();
+  if (!err.empty()) throw SimError(SimErrorKind::AuditFailed, err);
 }
 
 }  // namespace hmm::fault

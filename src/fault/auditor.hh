@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/snapshot.hh"
 #include "common/types.hh"
@@ -23,6 +24,21 @@ class HeteroMemoryController;
 
 namespace hmm::fault {
 
+/// What the auditor needs from any subject it sweeps: an optional
+/// translation table (validated + fill-bitmap-checked when present) and a
+/// subject-internal invariant sweep. MemoryScheme implementations derive
+/// from this so one auditor serves every scheme in the zoo.
+class Auditable {
+ public:
+  virtual ~Auditable() = default;
+  /// The translation table to validate, or nullptr when the subject has
+  /// none (cache-style schemes keep tags, not a P2M table).
+  [[nodiscard]] virtual const TranslationTable* audited_table()
+      const noexcept = 0;
+  /// Subject-internal invariant sweep; error description or empty string.
+  [[nodiscard]] virtual std::string audit_check() const = 0;
+};
+
 class InvariantAuditor {
  public:
   /// `interval` == 0 disables the periodic audit entirely (audit() can
@@ -30,6 +46,10 @@ class InvariantAuditor {
   InvariantAuditor(const TranslationTable& table,
                    const HeteroMemoryController* controller,
                    std::uint64_t interval);
+
+  /// Scheme-generic form: audits whatever table/state the subject exposes.
+  /// `subject` is not owned and must outlive the auditor.
+  InvariantAuditor(const Auditable* subject, std::uint64_t interval);
 
   /// Fast path: counts the access, audits when the interval elapses.
   void on_access() {
@@ -63,8 +83,9 @@ class InvariantAuditor {
   }
 
  private:
-  const TranslationTable& table_;
-  const HeteroMemoryController* controller_;
+  const TranslationTable* table_;  ///< not owned; may be null
+  const HeteroMemoryController* controller_;  ///< not owned; may be null
+  const Auditable* subject_;  ///< not owned; may be null
   std::uint64_t interval_;  // no-snapshot(construction-time config)
   std::uint64_t since_audit_ = 0;
   std::uint64_t audits_ = 0;

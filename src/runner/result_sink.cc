@@ -46,6 +46,7 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
   // Cross-cell aggregation (exercises the stats merge path): latency and
   // per-job wall-time summaries over the successful cells.
   RunningStat lat, wall;
+  std::uint64_t total_accesses = 0;
   std::uint64_t failed = 0;
   std::uint64_t retried = 0;
   std::uint64_t crashed = 0;
@@ -64,12 +65,13 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
       continue;
     }
     lat.add(c.result.avg_latency);
+    total_accesses += c.result.accesses;
   }
 
   JsonWriter j(os);
   j.begin_object();
   j.kv("bench", bench_);
-  j.kv("schema_version", 3);
+  j.kv("schema_version", 4);
   j.key("params").begin_object();
   for (const auto& [k, v] : params_) j.kv(k, v);
   j.end_object();
@@ -87,6 +89,12 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
     j.kv("wall_seconds", c.wall_seconds);  // non-deterministic by nature
     if (c.ok) {
       const RunResult& r = c.result;
+      // Simulator throughput, not simulated performance: how fast this host
+      // chewed through the cell (schema v4). Non-deterministic like
+      // wall_seconds; downstream diffing must ignore it.
+      if (c.wall_seconds > 0)
+        j.kv("accesses_per_sec",
+             static_cast<double>(r.accesses) / c.wall_seconds);
       j.key("metrics").begin_object();
       j.kv("accesses", r.accesses);
       j.kv("avg_latency", r.avg_latency);
@@ -146,6 +154,9 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
     j.kv("avg_latency_max", lat.max());
   }
   j.kv("wall_seconds_total", wall.sum());  // non-deterministic
+  if (wall.sum() > 0)
+    j.kv("accesses_per_sec_total",
+         static_cast<double>(total_accesses) / wall.sum());
   j.end_object();
   j.end_object();
   const std::string body = os.str();

@@ -79,9 +79,9 @@ RunResult ExperimentRunner::replay(const ExperimentSpec& spec,
   const auto warm = static_cast<std::uint64_t>(
       static_cast<double>(spec.accesses) * spec.warmup_fraction);
   if (warm > 0) {
-    if (spec.instant_warmup) sim.controller().set_instant_migration(true);
+    if (spec.instant_warmup) sim.set_instant_migration(true);
     sim.run(*gen, warm);
-    sim.controller().set_instant_migration(false);
+    sim.set_instant_migration(false);
     sim.reset_stats();
   }
   sim.run(*gen, spec.accesses - warm);
@@ -110,7 +110,7 @@ RunResult ExperimentRunner::durable_replay(const ExperimentSpec& spec,
   // Fresh run: arm the warm-up fast-forward replay() would arm. A restored
   // run gets the flag back from the engine snapshot instead.
   if (!restored && warm > 0 && spec.instant_warmup)
-    sim.controller().set_instant_migration(true);
+    sim.set_instant_migration(true);
 
   // The loop below replays exactly replay()'s sequence, in interruptible
   // chunks:   run(warm)         == chunks to `warm` + finish()
@@ -127,7 +127,7 @@ RunResult ExperimentRunner::durable_replay(const ExperimentSpec& spec,
     }
     if (warm > 0 && !meta.stats_reset_done && meta.accesses_done >= warm) {
       sim.finish();
-      sim.controller().set_instant_migration(false);
+      sim.set_instant_migration(false);
       sim.reset_stats();
       meta.stats_reset_done = true;
       continue;

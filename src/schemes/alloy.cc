@@ -1,0 +1,111 @@
+#include "schemes/alloy.hh"
+
+#include "common/params.hh"
+
+namespace hmm::schemes {
+
+AlloyScheme::AlloyScheme(const SchemeConfig& cfg, DramSystem& on_package,
+                         DramSystem& off_package)
+    : geom_(cfg.controller.geom),
+      on_(on_package),
+      off_(off_package),
+      cache_(cfg.controller.geom.on_package_bytes, params::kCacheLine) {}
+
+SchemeDecision AlloyScheme::on_access(PhysAddr addr, AccessType type,
+                                      Cycle now) {
+  SchemeDecision d;
+  ++stats_.accesses;
+
+  if (injector_ != nullptr &&
+      injector_->fires(fault::FaultSite::HotnessCorrupt,
+                       geom_.page_of(addr))) {
+    // A transient scrambles one tag entry. Dropping the set is the benign
+    // outcome: at worst a spurious refill, never a wrong route.
+    cache_.invalidate_set(
+        injector_->payload_rng().bounded64(cache_.sets()));
+  }
+
+  const LineCache::Lookup lk =
+      cache_.access(addr, type == AccessType::Write);
+  const std::uint64_t line = cache_.line_bytes();
+  if (lk.hit) {
+    // Tag-with-data: the probe IS the access — no extra latency.
+    ++stats_.hits;
+    d.route.region = Region::OnPackage;
+    d.route.mach = lk.set * line + addr % line;
+    return d;
+  }
+
+  // Miss: the on-package probe that discovered it costs one access, then
+  // the demand is served from the identity off-package home.
+  d.route.region = Region::OffPackage;
+  d.route.mach = addr;
+  d.extra_latency = params::kL4MissDetermination;
+  if (!instant_) {
+    // Background fill of the TAD (and the dirty victim's writeback) steal
+    // bandwidth exactly like migration chunks do.
+    const std::uint32_t bytes = static_cast<std::uint32_t>(line);
+    on_.submit(lk.set * line, bytes, AccessType::Write,
+               Priority::Background, now + d.extra_latency);
+    stats_.fill_bytes += line;
+    if (lk.victim_valid && lk.victim_dirty) {
+      off_.submit(lk.victim_addr, bytes, AccessType::Write,
+                  Priority::Background, now + d.extra_latency);
+      stats_.writeback_bytes += line;
+    }
+  }
+  return d;
+}
+
+Route AlloyScheme::translate(PhysAddr addr) const {
+  Route r;
+  if (cache_.present(addr)) {
+    const std::uint64_t line = cache_.line_bytes();
+    r.region = Region::OnPackage;
+    r.mach = cache_.set_of(addr) * line + addr % line;
+  } else {
+    r.region = Region::OffPackage;
+    r.mach = addr;
+  }
+  return r;
+}
+
+SchemeMetrics AlloyScheme::metrics() const {
+  SchemeMetrics m;
+  m.on_package_fraction =
+      stats_.accesses == 0 ? 0.0
+                           : static_cast<double>(stats_.hits) /
+                                 static_cast<double>(stats_.accesses);
+  m.migrated_bytes = stats_.fill_bytes + stats_.writeback_bytes;
+  return m;
+}
+
+std::string AlloyScheme::audit_check() const {
+  const std::string err = cache_.validate();
+  if (!err.empty()) return "alloy tag store: " + err;
+  return {};
+}
+
+void AlloyScheme::save(snap::Writer& w) const {
+  cache_.save(w);
+  w.begin_section(snap::tag('A', 'L', 'O', 'Y'));
+  w.u64(stats_.accesses);
+  w.u64(stats_.hits);
+  w.u64(stats_.fill_bytes);
+  w.u64(stats_.writeback_bytes);
+  w.b(instant_);
+  w.end_section();
+}
+
+void AlloyScheme::restore(snap::Reader& r) {
+  cache_.restore(r);
+  r.begin_section(snap::tag('A', 'L', 'O', 'Y'));
+  stats_.accesses = r.u64();
+  stats_.hits = r.u64();
+  stats_.fill_bytes = r.u64();
+  stats_.writeback_bytes = r.u64();
+  instant_ = r.b();
+  r.end_section();
+}
+
+}  // namespace hmm::schemes

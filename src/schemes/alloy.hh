@@ -1,0 +1,68 @@
+// Alloy-style direct-mapped line cache (Qureshi & Loh, MICRO'12 flavour).
+//
+// The on-package DRAM is a tag-with-data (TAD) cache of the off-package
+// backing store: one cache line per set, tag and data fetched in a single
+// on-package access (no separate tag array, no associativity, and no
+// migration choreography at all). A hit is served on-package; a miss pays
+// the miss-determination probe, is served from the off-package home, and
+// streams a background fill into the set (plus a dirty-victim writeback).
+//
+// Adaptation notes: the backing store is the identity machine mapping of
+// the whole physical space (the same convention Force::AllOffPackage
+// uses), and the line size is the L3 line (64B) — the TAD unit the Alloy
+// paper co-locates with its tag.
+#pragma once
+
+#include <string>
+
+#include "schemes/line_cache.hh"
+#include "schemes/scheme.hh"
+
+namespace hmm::schemes {
+
+class AlloyScheme final : public MemoryScheme {
+ public:
+  AlloyScheme(const SchemeConfig& cfg, DramSystem& on_package,
+              DramSystem& off_package);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "Alloy";
+  }
+  [[nodiscard]] SchemeDecision on_access(PhysAddr addr, AccessType type,
+                                         Cycle now) override;
+  [[nodiscard]] Route translate(PhysAddr addr) const override;
+  void on_background_completion(const DramCompletion&,
+                                Region) override {}
+  [[nodiscard]] bool background_idle() const noexcept override {
+    return true;  // fills are fire-and-forget writes
+  }
+  void set_instant(bool on) override { instant_ = on; }
+  void set_fault_injector(fault::FaultInjector* inj) override {
+    injector_ = inj;
+  }
+  [[nodiscard]] SchemeMetrics metrics() const override;
+  void save(snap::Writer& w) const override;
+  void restore(snap::Reader& r) override;
+  [[nodiscard]] std::string audit_check() const override;
+
+  /// Test hook: the tag store, so auditor tests can corrupt it.
+  [[nodiscard]] LineCache& cache_for_test() noexcept { return cache_; }
+
+ private:
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fill_bytes = 0;
+    std::uint64_t writeback_bytes = 0;
+  };
+
+  Geometry geom_;  // no-snapshot(construction-time config)
+  DramSystem& on_;
+  DramSystem& off_;
+  LineCache cache_;
+  Stats stats_;
+  bool instant_ = false;
+  fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
+};
+
+}  // namespace hmm::schemes

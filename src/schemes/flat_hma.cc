@@ -1,0 +1,190 @@
+#include "schemes/flat_hma.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/params.hh"
+
+namespace hmm::schemes {
+
+FlatHmaScheme::FlatHmaScheme(const SchemeConfig& cfg,
+                             DramSystem& on_package,
+                             DramSystem& off_package)
+    : geom_(cfg.controller.geom),
+      interval_(cfg.controller.swap_interval),
+      on_(on_package),
+      off_(off_package) {}
+
+SchemeDecision FlatHmaScheme::on_access(PhysAddr addr, AccessType /*type*/,
+                                        Cycle now) {
+  SchemeDecision d;
+  ++stats_.accesses;
+  PageId p = geom_.page_of(addr);
+
+  if (profiling_) {
+    PageId tracked = p;
+    if (injector_ != nullptr &&
+        injector_->fires(fault::FaultSite::HotnessCorrupt, p)) {
+      // A corrupted profile counter credits the access to the wrong page:
+      // at worst a suboptimal placement, never an invalid one.
+      tracked = static_cast<PageId>(
+          injector_->payload_rng().bounded64(geom_.total_pages()));
+    }
+    ++counts_[tracked];
+    d.route.region = Region::OffPackage;
+    d.route.mach = addr;
+    if (++seen_ >= interval_) finalize_placement(now);
+    // The OS bookkeeping stalls the CPU; charge it to the access that
+    // crossed the epoch boundary (same convention as the controller).
+    d.extra_latency += pending_os_stall_;
+    pending_os_stall_ = 0;
+    return d;
+  }
+
+  d.route = translate(addr);
+  if (d.route.region == Region::OnPackage) ++stats_.on_hits;
+  return d;
+}
+
+void FlatHmaScheme::finalize_placement(Cycle now) {
+  // Deterministic hottest-first order: count descending, page id ascending
+  // (unordered_map iteration order must never leak into placement).
+  std::vector<std::pair<PageId, std::uint64_t>> heat(counts_.begin(),
+                                                     counts_.end());
+  std::sort(heat.begin(), heat.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const SlotId slots = geom_.slots();
+  SlotId next = 0;
+  for (const auto& [page, count] : heat) {
+    if (next >= slots || count == 0) break;
+    place_.emplace(page, next++);
+  }
+  stats_.placements = next;
+  if (!instant_ && next > 0) {
+    // One bulk background copy per placed page (read the off-package home,
+    // write the slot) plus one OS table update each — paid once, ever.
+    const auto bytes = static_cast<std::uint32_t>(geom_.page_bytes);
+    for (const auto& [page, slot] : place_) {
+      off_.submit(geom_.machine_base(page), bytes, AccessType::Read,
+                  Priority::Background, now);
+      on_.submit(static_cast<MachAddr>(slot) * geom_.page_bytes, bytes,
+                 AccessType::Write, Priority::Background, now);
+    }
+    stats_.migrated_bytes =
+        static_cast<std::uint64_t>(next) * geom_.page_bytes;
+    const Cycle stall = static_cast<Cycle>(next) * params::kOsUpdateOverhead;
+    stats_.os_stall_cycles += stall;
+    pending_os_stall_ += stall;
+  }
+  profiling_ = false;
+  counts_.clear();
+}
+
+Route FlatHmaScheme::translate(PhysAddr addr) const {
+  Route r;
+  const PageId p = geom_.page_of(addr);
+  if (const auto it = place_.find(p); it != place_.end()) {
+    r.region = Region::OnPackage;
+    r.mach = static_cast<MachAddr>(it->second) * geom_.page_bytes +
+             geom_.offset_of(addr);
+  } else {
+    // Identity off-package home (the Force::AllOffPackage convention).
+    r.region = Region::OffPackage;
+    r.mach = addr;
+  }
+  return r;
+}
+
+SchemeMetrics FlatHmaScheme::metrics() const {
+  SchemeMetrics m;
+  m.on_package_fraction =
+      stats_.accesses == 0 ? 0.0
+                           : static_cast<double>(stats_.on_hits) /
+                                 static_cast<double>(stats_.accesses);
+  m.swaps = stats_.placements;
+  m.migrated_bytes = stats_.migrated_bytes;
+  m.os_stall_cycles = stats_.os_stall_cycles;
+  return m;
+}
+
+std::string FlatHmaScheme::audit_check() const {
+  // Placement bijectivity: every slot is used at most once and every
+  // mapped page/slot is in range.
+  std::vector<bool> used(geom_.slots(), false);
+  for (const auto& [page, slot] : place_) {
+    if (page >= geom_.total_pages())
+      return "flat-HMA placement: page id out of range";
+    if (slot >= geom_.slots())
+      return "flat-HMA placement: slot out of range";
+    if (used[slot]) return "flat-HMA placement: slot mapped twice";
+    used[slot] = true;
+  }
+  if (place_.size() > geom_.slots())
+    return "flat-HMA placement: more pages than slots";
+  return {};
+}
+
+void FlatHmaScheme::corrupt_placement_for_test() {
+  // Map a second page onto slot 0 (or invent the first mapping twice).
+  place_[geom_.total_pages() - 2] = 0;
+  place_[geom_.total_pages() - 3] = 0;
+}
+
+namespace {
+template <typename K, typename V>
+void save_sorted_map(snap::Writer& w, const std::unordered_map<K, V>& m) {
+  std::vector<std::pair<K, V>> v(m.begin(), m.end());
+  std::sort(v.begin(), v.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(v.size());
+  for (const auto& [k, val] : v) {
+    w.u64(static_cast<std::uint64_t>(k));
+    w.u64(static_cast<std::uint64_t>(val));
+  }
+}
+}  // namespace
+
+void FlatHmaScheme::save(snap::Writer& w) const {
+  w.begin_section(snap::tag('F', 'H', 'M', 'A'));
+  w.b(profiling_);
+  w.u64(seen_);
+  save_sorted_map(w, counts_);
+  save_sorted_map(w, place_);
+  w.u64(pending_os_stall_);
+  w.u64(stats_.accesses);
+  w.u64(stats_.on_hits);
+  w.u64(stats_.placements);
+  w.u64(stats_.migrated_bytes);
+  w.u64(stats_.os_stall_cycles);
+  w.b(instant_);
+  w.end_section();
+}
+
+void FlatHmaScheme::restore(snap::Reader& r) {
+  r.begin_section(snap::tag('F', 'H', 'M', 'A'));
+  profiling_ = r.b();
+  seen_ = r.u64();
+  counts_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const PageId k = r.u64();
+    counts_[k] = r.u64();
+  }
+  place_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const PageId k = r.u64();
+    place_[k] = static_cast<SlotId>(r.u64());
+  }
+  pending_os_stall_ = r.u64();
+  stats_.accesses = r.u64();
+  stats_.on_hits = r.u64();
+  stats_.placements = r.u64();
+  stats_.migrated_bytes = r.u64();
+  stats_.os_stall_cycles = r.u64();
+  instant_ = r.b();
+  r.end_section();
+}
+
+}  // namespace hmm::schemes

@@ -1,0 +1,147 @@
+// Direct-mapped tag store shared by the cache-style schemes (Alloy,
+// MemCache). Models the placement function of a tag-with-data (TAD)
+// DRAM cache: one tag per line-sized set, no associativity, so a probe
+// costs a single on-package access and there is no migration choreography.
+//
+// Only tags are modelled (the simulator carries no data); entries are
+// packed as (tag << 2) | dirty << 1 | valid so the 8M sets of the paper
+// geometry (512MB / 64B) stay a single flat uint32 array. A redundant
+// valid-entry counter is maintained incrementally and recounted by
+// validate(), giving the invariant auditor a real cross-check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/snapshot.hh"
+#include "common/types.hh"
+#include "fault/sim_error.hh"
+
+namespace hmm::schemes {
+
+class LineCache {
+ public:
+  /// Outcome of one access: on a miss, the victim (when valid) names the
+  /// physical line that was evicted so the caller can write it back.
+  struct Lookup {
+    bool hit = false;
+    std::uint64_t set = 0;
+    bool victim_valid = false;
+    bool victim_dirty = false;
+    PhysAddr victim_addr = 0;
+  };
+
+  LineCache() = default;
+  LineCache(std::uint64_t capacity_bytes, std::uint64_t line_bytes)
+      : line_bytes_(line_bytes),
+        sets_(line_bytes > 0 ? capacity_bytes / line_bytes : 0),
+        tags_(sets_, 0) {}
+
+  [[nodiscard]] std::uint64_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::uint64_t line_bytes() const noexcept {
+    return line_bytes_;
+  }
+  [[nodiscard]] std::uint64_t valid_count() const noexcept {
+    return valid_count_;
+  }
+
+  [[nodiscard]] std::uint64_t set_of(PhysAddr addr) const noexcept {
+    return (addr / line_bytes_) % sets_;
+  }
+
+  /// Const probe (translate() path): present means an on-package hit.
+  [[nodiscard]] bool present(PhysAddr addr) const noexcept {
+    if (sets_ == 0) return false;
+    const std::uint32_t e = tags_[set_of(addr)];
+    return (e & 1u) != 0 && (e >> 2) == tag_of(addr);
+  }
+
+  /// Probe + fill: a miss installs the line (direct-mapped eviction) and
+  /// reports the victim; `dirty` marks the line after a write hit/fill.
+  [[nodiscard]] Lookup access(PhysAddr addr, bool dirty) {
+    Lookup lk;
+    if (sets_ == 0) return lk;
+    const std::uint64_t tag = tag_of(addr);
+    HMM_CHECK(tag < (1u << 30),
+              "address space too large for the packed line-cache tag");
+    lk.set = set_of(addr);
+    std::uint32_t& e = tags_[lk.set];
+    if ((e & 1u) != 0 && (e >> 2) == tag) {
+      lk.hit = true;
+      if (dirty) e |= 2u;
+      return lk;
+    }
+    if ((e & 1u) != 0) {
+      lk.victim_valid = true;
+      lk.victim_dirty = (e & 2u) != 0;
+      lk.victim_addr = ((static_cast<std::uint64_t>(e >> 2) * sets_) +
+                        lk.set) *
+                       line_bytes_;
+    } else {
+      ++valid_count_;
+    }
+    e = static_cast<std::uint32_t>(tag << 2) | (dirty ? 2u : 0u) | 1u;
+    return lk;
+  }
+
+  /// Fault payload: drop one set (a benign eviction-like transient).
+  void invalidate_set(std::uint64_t set) {
+    if (set >= sets_) return;
+    if ((tags_[set] & 1u) != 0) --valid_count_;
+    tags_[set] = 0;
+  }
+
+  /// Test hook: desynchronize the redundant counter so auditor tests can
+  /// prove the audit path surfaces tag-store corruption.
+  void corrupt_valid_count_for_test() noexcept { ++valid_count_; }
+
+  /// Recounts valid entries against the incremental counter; returns an
+  /// error description or empty string.
+  [[nodiscard]] std::string validate() const {
+    std::uint64_t n = 0;
+    for (const std::uint32_t e : tags_)
+      if ((e & 1u) != 0) ++n;
+    if (n != valid_count_)
+      return "valid-entry counter " + std::to_string(valid_count_) +
+             " disagrees with tag recount " + std::to_string(n);
+    return {};
+  }
+
+  // Sparse codec: only valid entries are written, so short runs over the
+  // 8M-set paper geometry keep checkpoints small.
+  void save(snap::Writer& w) const {
+    w.begin_section(snap::tag('L', 'N', 'C', 'H'));
+    w.u64(valid_count_);
+    for (std::uint64_t s = 0; s < sets_; ++s)
+      if ((tags_[s] & 1u) != 0) {
+        w.u64(s);
+        w.u32(tags_[s]);
+      }
+    w.end_section();
+  }
+  void restore(snap::Reader& r) {
+    r.begin_section(snap::tag('L', 'N', 'C', 'H'));
+    tags_.assign(sets_, 0);
+    valid_count_ = r.u64();
+    for (std::uint64_t i = 0; i < valid_count_; ++i) {
+      const std::uint64_t s = r.u64();
+      if (s >= sets_)
+        snap::snapshot_error("line-cache set index out of range");
+      tags_[s] = r.u32();
+    }
+    r.end_section();
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t tag_of(PhysAddr addr) const noexcept {
+    return addr / line_bytes_ / sets_;
+  }
+
+  std::uint64_t line_bytes_ = 0;  // no-snapshot(construction-time config)
+  std::uint64_t sets_ = 0;  // no-snapshot(derived from construction config)
+  std::vector<std::uint32_t> tags_;
+  std::uint64_t valid_count_ = 0;
+};
+
+}  // namespace hmm::schemes

@@ -1,0 +1,139 @@
+#include "schemes/memcache.hh"
+
+#include <algorithm>
+
+#include "common/params.hh"
+
+namespace hmm::schemes {
+
+namespace {
+/// Memory-fraction size: (1 - cache_fraction) of the on-package bytes,
+/// rounded to whole macro pages and clamped to [0, on_package_bytes].
+[[nodiscard]] std::uint64_t memory_bytes(const Geometry& g,
+                                         double cache_fraction) {
+  const double f = std::clamp(1.0 - cache_fraction, 0.0, 1.0);
+  const auto pages = static_cast<std::uint64_t>(
+      f * static_cast<double>(g.slots()) + 0.5);
+  return std::min<std::uint64_t>(pages, g.slots()) * g.page_bytes;
+}
+}  // namespace
+
+MemCacheScheme::MemCacheScheme(const SchemeConfig& cfg,
+                               DramSystem& on_package,
+                               DramSystem& off_package)
+    : geom_(cfg.controller.geom),
+      mem_bytes_(memory_bytes(cfg.controller.geom, cfg.cache_fraction)),
+      on_(on_package),
+      off_(off_package),
+      cache_(cfg.controller.geom.on_package_bytes - mem_bytes_,
+             params::kCacheLine) {}
+
+SchemeDecision MemCacheScheme::on_access(PhysAddr addr, AccessType type,
+                                         Cycle now) {
+  SchemeDecision d;
+  ++stats_.accesses;
+
+  if (addr < mem_bytes_) {
+    // Memory fraction: static identity placement, no tags, no extra cost.
+    ++stats_.mem_hits;
+    d.route.region = Region::OnPackage;
+    d.route.mach = addr;
+    return d;
+  }
+
+  if (injector_ != nullptr &&
+      injector_->fires(fault::FaultSite::HotnessCorrupt,
+                       geom_.page_of(addr))) {
+    // Benign tag transient, as in AlloyScheme.
+    cache_.invalidate_set(
+        injector_->payload_rng().bounded64(cache_.sets()));
+  }
+
+  const LineCache::Lookup lk =
+      cache_.access(addr, type == AccessType::Write);
+  const std::uint64_t line = cache_.line_bytes();
+  if (lk.hit) {
+    ++stats_.cache_hits;
+    d.route.region = Region::OnPackage;
+    d.route.mach = mem_bytes_ + lk.set * line + addr % line;
+    return d;
+  }
+  d.route.region = Region::OffPackage;
+  d.route.mach = addr;
+  if (cache_.sets() == 0) return d;  // cache_fraction 0: plain miss
+  d.extra_latency = params::kL4MissDetermination;
+  if (!instant_) {
+    const auto bytes = static_cast<std::uint32_t>(line);
+    on_.submit(mem_bytes_ + lk.set * line, bytes, AccessType::Write,
+               Priority::Background, now + d.extra_latency);
+    stats_.fill_bytes += line;
+    if (lk.victim_valid && lk.victim_dirty) {
+      off_.submit(lk.victim_addr, bytes, AccessType::Write,
+                  Priority::Background, now + d.extra_latency);
+      stats_.writeback_bytes += line;
+    }
+  }
+  return d;
+}
+
+Route MemCacheScheme::translate(PhysAddr addr) const {
+  Route r;
+  if (addr < mem_bytes_) {
+    r.region = Region::OnPackage;
+    r.mach = addr;
+  } else if (cache_.present(addr)) {
+    const std::uint64_t line = cache_.line_bytes();
+    r.region = Region::OnPackage;
+    r.mach = mem_bytes_ + cache_.set_of(addr) * line + addr % line;
+  } else {
+    r.region = Region::OffPackage;
+    r.mach = addr;
+  }
+  return r;
+}
+
+SchemeMetrics MemCacheScheme::metrics() const {
+  SchemeMetrics m;
+  m.on_package_fraction =
+      stats_.accesses == 0
+          ? 0.0
+          : static_cast<double>(stats_.mem_hits + stats_.cache_hits) /
+                static_cast<double>(stats_.accesses);
+  m.migrated_bytes = stats_.fill_bytes + stats_.writeback_bytes;
+  return m;
+}
+
+std::string MemCacheScheme::audit_check() const {
+  if (mem_bytes_ + cache_.sets() * cache_.line_bytes() >
+      geom_.on_package_bytes)
+    return "memcache partition exceeds on-package capacity";
+  const std::string err = cache_.validate();
+  if (!err.empty()) return "memcache tag store: " + err;
+  return {};
+}
+
+void MemCacheScheme::save(snap::Writer& w) const {
+  cache_.save(w);
+  w.begin_section(snap::tag('M', 'C', 'C', 'H'));
+  w.u64(stats_.accesses);
+  w.u64(stats_.mem_hits);
+  w.u64(stats_.cache_hits);
+  w.u64(stats_.fill_bytes);
+  w.u64(stats_.writeback_bytes);
+  w.b(instant_);
+  w.end_section();
+}
+
+void MemCacheScheme::restore(snap::Reader& r) {
+  cache_.restore(r);
+  r.begin_section(snap::tag('M', 'C', 'C', 'H'));
+  stats_.accesses = r.u64();
+  stats_.mem_hits = r.u64();
+  stats_.cache_hits = r.u64();
+  stats_.fill_bytes = r.u64();
+  stats_.writeback_bytes = r.u64();
+  instant_ = r.b();
+  r.end_section();
+}
+
+}  // namespace hmm::schemes

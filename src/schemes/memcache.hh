@@ -1,0 +1,69 @@
+// MemCache-style hybrid: on-package DRAM partitioned into a memory
+// fraction and a cache fraction ("Die-Stacked DRAM: Memory, Cache, or
+// MemCache?" — the operating point between the two pure designs).
+//
+// The memory fraction statically maps the lowest physical macro pages
+// on-package at identity addresses (OS-visible capacity, no tags, no
+// copies). The remaining on-package bytes run as an Alloy-style
+// direct-mapped line cache over the rest of the address space, with its
+// sets offset past the memory fraction. `SchemeConfig::cache_fraction`
+// is the runtime knob: 0.0 degenerates to pure static memory, 1.0 to a
+// pure Alloy cache.
+#pragma once
+
+#include <string>
+
+#include "schemes/line_cache.hh"
+#include "schemes/scheme.hh"
+
+namespace hmm::schemes {
+
+class MemCacheScheme final : public MemoryScheme {
+ public:
+  MemCacheScheme(const SchemeConfig& cfg, DramSystem& on_package,
+                 DramSystem& off_package);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "MemCache";
+  }
+  [[nodiscard]] SchemeDecision on_access(PhysAddr addr, AccessType type,
+                                         Cycle now) override;
+  [[nodiscard]] Route translate(PhysAddr addr) const override;
+  void on_background_completion(const DramCompletion&,
+                                Region) override {}
+  [[nodiscard]] bool background_idle() const noexcept override {
+    return true;  // fills are fire-and-forget writes
+  }
+  void set_instant(bool on) override { instant_ = on; }
+  void set_fault_injector(fault::FaultInjector* inj) override {
+    injector_ = inj;
+  }
+  [[nodiscard]] SchemeMetrics metrics() const override;
+  void save(snap::Writer& w) const override;
+  void restore(snap::Reader& r) override;
+  [[nodiscard]] std::string audit_check() const override;
+
+  [[nodiscard]] std::uint64_t memory_fraction_bytes() const noexcept {
+    return mem_bytes_;
+  }
+
+ private:
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t mem_hits = 0;    ///< static memory-fraction accesses
+    std::uint64_t cache_hits = 0;  ///< cache-fraction tag hits
+    std::uint64_t fill_bytes = 0;
+    std::uint64_t writeback_bytes = 0;
+  };
+
+  Geometry geom_;  // no-snapshot(construction-time config)
+  std::uint64_t mem_bytes_;  // no-snapshot(construction-time config)
+  DramSystem& on_;
+  DramSystem& off_;
+  LineCache cache_;
+  Stats stats_;
+  bool instant_ = false;
+  fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
+};
+
+}  // namespace hmm::schemes

@@ -1,0 +1,104 @@
+// The paper's swap-based designs (N, N-1, Live) as one MemoryScheme.
+//
+// A thin forwarding shell around HeteroMemoryController: every call maps
+// 1:1 onto the controller API and the snapshot stream is exactly the
+// controller's own, so the three extracted schemes stay bit-identical to
+// the pre-zoo controller path (proven by tests/scheme_test.cc goldens).
+#pragma once
+
+#include <string>
+
+#include "core/controller.hh"
+#include "core/migration.hh"
+#include "schemes/scheme.hh"
+
+namespace hmm::schemes {
+
+class SwapScheme final : public MemoryScheme {
+ public:
+  SwapScheme(const SchemeConfig& cfg, DramSystem& on_package,
+             DramSystem& off_package)
+      : ctl_(cfg.controller, on_package, off_package) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return to_string(ctl_.config().design);
+  }
+
+  [[nodiscard]] SchemeDecision on_access(PhysAddr addr, AccessType type,
+                                         Cycle now) override {
+    const HeteroMemoryController::Decision d = ctl_.on_access(addr, type,
+                                                              now);
+    return SchemeDecision{d.route, d.extra_latency, d.stall_until_idle};
+  }
+
+  [[nodiscard]] Route translate(PhysAddr addr) const override {
+    return ctl_.table().translate(addr);
+  }
+
+  void on_background_completion(const DramCompletion& c,
+                                Region from) override {
+    ctl_.on_completion(c, from);
+  }
+
+  [[nodiscard]] bool background_idle() const noexcept override {
+    return ctl_.migration_idle();
+  }
+
+  [[nodiscard]] std::size_t in_flight_chunks() const noexcept override {
+    return ctl_.engine().in_flight_chunks();
+  }
+
+  void set_instant(bool on) override { ctl_.set_instant_migration(on); }
+
+  void set_fault_injector(fault::FaultInjector* inj) override {
+    ctl_.set_fault_injector(inj);
+  }
+
+  [[nodiscard]] TranslationTable* mutable_table() noexcept override {
+    return &ctl_.table();
+  }
+
+  [[nodiscard]] SchemeMetrics metrics() const override {
+    SchemeMetrics m;
+    const HeteroMemoryController::Stats& cs = ctl_.stats();
+    const MigrationEngine::Stats& es = ctl_.engine().stats();
+    m.on_package_fraction =
+        cs.accesses == 0 ? 0.0
+                         : static_cast<double>(cs.on_package_hits) /
+                               static_cast<double>(cs.accesses);
+    m.swaps = es.swaps_completed;
+    m.migrated_bytes = es.bytes_copied;
+    m.os_stall_cycles = cs.os_stall_cycles;
+    m.chunk_retries = es.chunk_retries;
+    m.chunks_dropped = es.chunks_dropped;
+    m.swap_aborts = es.swaps_aborted;
+    m.degraded = ctl_.engine().degraded();
+    m.degraded_at = ctl_.engine().degraded_at();
+    return m;
+  }
+
+  void save(snap::Writer& w) const override { ctl_.save(w); }
+  void restore(snap::Reader& r) override { ctl_.restore(r); }
+
+  [[nodiscard]] const TranslationTable* audited_table()
+      const noexcept override {
+    return &ctl_.table();
+  }
+  [[nodiscard]] std::string audit_check() const override {
+    return ctl_.audit();
+  }
+
+  /// The wrapped controller, for the swap-design-only surface (engine
+  /// stats, tracker test hooks) that predates the scheme zoo.
+  [[nodiscard]] HeteroMemoryController& controller() noexcept {
+    return ctl_;
+  }
+  [[nodiscard]] const HeteroMemoryController& controller() const noexcept {
+    return ctl_;
+  }
+
+ private:
+  HeteroMemoryController ctl_;
+};
+
+}  // namespace hmm::schemes

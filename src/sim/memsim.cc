@@ -2,21 +2,36 @@
 
 #include <algorithm>
 
+#include "schemes/registry.hh"
+#include "schemes/swap_scheme.hh"
+
 namespace hmm {
 
 MemSim::MemSim(const MemSimConfig& cfg)
     : cfg_(cfg),
       on_(DramSystem::make(Region::OnPackage, cfg.policy)),
       off_(DramSystem::make(Region::OffPackage, cfg.policy)),
-      ctl_(cfg.controller, on_, off_),
+      scheme_(schemes::make_scheme(
+          cfg.scheme.empty() ? to_string(cfg.controller.design)
+                             : cfg.scheme,
+          schemes::SchemeConfig{cfg.controller, cfg.cache_fraction}, on_,
+          off_)),
       injector_(cfg.fault),
-      auditor_(ctl_.table(), &ctl_, cfg.audit_interval),
+      auditor_(scheme_.get(), cfg.audit_interval),
       started_(std::chrono::steady_clock::now()) {
   if (injector_.enabled()) {
-    ctl_.set_fault_injector(&injector_);
+    scheme_->set_fault_injector(&injector_);
     on_.set_fault_injector(&injector_);
     off_.set_fault_injector(&injector_);
   }
+}
+
+HeteroMemoryController& MemSim::controller() {
+  auto* swap = dynamic_cast<schemes::SwapScheme*>(scheme_.get());
+  HMM_CHECK(swap != nullptr,
+            std::string("scheme '") + scheme_->name() +
+                "' has no HeteroMemoryController (swap designs only)");
+  return swap->controller();
 }
 
 void MemSim::check_deadline() const {
@@ -31,21 +46,20 @@ void MemSim::check_deadline() const {
 }
 
 void MemSim::check_wedged() const {
-  if (ctl_.migration_idle()) return;
-  if (ctl_.engine().in_flight_chunks() != 0) return;
+  if (scheme_->background_idle()) return;
+  if (scheme_->in_flight_chunks() != 0) return;
   if (on_.backlog() != 0 || off_.backlog() != 0) return;
   // No copy chunk in flight, both regions drained, yet the swap is not
   // finished: no future event can ever advance it.
   throw fault::SimError(
       fault::SimErrorKind::Watchdog,
       std::string("migration engine wedged mid-swap (design ") +
-          to_string(ctl_.engine().config().design) +
-          "): simulated time cannot advance");
+          scheme_->name() + "): simulated time cannot advance");
 }
 
 void MemSim::handle_completion(const DramCompletion& c, Region region) {
   if (c.priority == Priority::Background) {
-    ctl_.on_completion(c, region);
+    scheme_->on_background_completion(c, region);
     return;
   }
   auto& map = region == Region::OnPackage ? demand_on_ : demand_off_;
@@ -82,7 +96,7 @@ void MemSim::pump(Cycle now) {
 
 Cycle MemSim::force_migration_idle(Cycle now) {
   int guard = 0;
-  while (!ctl_.migration_idle() && ++guard < 1'000'000) {
+  while (!scheme_->background_idle() && ++guard < 1'000'000) {
     const Cycle t = std::max(on_.drain_all(now), off_.drain_all(now));
     const auto a = on_.take_completions();
     const auto b = off_.take_completions();
@@ -96,7 +110,7 @@ Cycle MemSim::force_migration_idle(Cycle now) {
       break;
     }
   }
-  if (!ctl_.migration_idle() && guard >= 1'000'000)
+  if (!scheme_->background_idle() && guard >= 1'000'000)
     throw fault::SimError(fault::SimErrorKind::Watchdog,
                           "swap did not finish within the event budget");
   return now;
@@ -121,11 +135,13 @@ void MemSim::step(const TraceRecord& r) {
   Cycle now = std::max(r.timestamp + slip_, last_now_);
   pump(now);
 
-  if (injector_.enabled() &&
+  // The TableBitFlip site only exists for schemes that carry a
+  // translation table; cache-style schemes expose HotnessCorrupt instead.
+  if (injector_.enabled() && scheme_->mutable_table() != nullptr &&
       injector_.fires(fault::FaultSite::TableBitFlip)) {
     // A transient flips a bit in the translation hardware; the periodic
     // audit must detect the resulting encoding/placement disagreement.
-    TranslationTable& t = ctl_.table();
+    TranslationTable& t = *scheme_->mutable_table();
     const auto row = static_cast<SlotId>(
         injector_.payload_rng().bounded64(t.geometry().slots()));
     if (injector_.payload_rng().chance(0.5))
@@ -138,14 +154,14 @@ void MemSim::step(const TraceRecord& r) {
   // blocking swap shows up in the average memory access time (Fig 11).
   const Cycle issue_time = now;
 
-  auto d = ctl_.on_access(r.addr, r.type, now);
+  schemes::SchemeDecision d = scheme_->on_access(r.addr, r.type, now);
 
   if (d.stall_until_idle) {
     // Design N halts execution for the whole swap: every access arriving
     // before the swap completes waits until it does.
     blocked_until_ = std::max(blocked_until_, force_migration_idle(now));
     // The swap completed while we waited: route with the updated table.
-    d.route = ctl_.table().translate(r.addr);
+    d.route = scheme_->translate(r.addr);
   }
   if (blocked_until_ > now) {
     d.extra_latency += blocked_until_ - now;
@@ -224,7 +240,7 @@ void MemSim::reset_stats() {
 
 RunResult MemSim::result() const {
   RunResult r;
-  const auto& cs = ctl_.stats();
+  const schemes::SchemeMetrics m = scheme_->metrics();
   r.accesses = latency_.count();
   r.avg_latency = latency_.mean();
   r.avg_read_latency = read_latency_.mean();
@@ -232,29 +248,24 @@ RunResult MemSim::result() const {
   r.avg_on_latency = on_latency_.mean();
   r.avg_off_latency = off_latency_.mean();
   r.p99_latency = static_cast<double>(latency_hist_.quantile(0.99));
-  r.on_package_fraction =
-      cs.accesses == 0
-          ? 0.0
-          : static_cast<double>(cs.on_package_hits) /
-                static_cast<double>(cs.accesses);
+  r.on_package_fraction = m.on_package_fraction;
   r.off_row_hit_rate = off_.row_hit_rate();
   r.on_queue_delay = on_.mean_queue_delay();
   r.off_queue_delay = off_.mean_queue_delay();
-  r.swaps = ctl_.engine().stats().swaps_completed;
-  r.migrated_bytes = ctl_.engine().stats().bytes_copied;
+  r.swaps = m.swaps;
+  r.migrated_bytes = m.migrated_bytes;
   r.demand_bytes_on = on_.demand_bytes();
   r.demand_bytes_off = off_.demand_bytes();
-  r.os_stall_cycles = cs.os_stall_cycles;
+  r.os_stall_cycles = m.os_stall_cycles;
   r.end_time = std::max(end_time_, last_now_);
 
-  const auto& es = ctl_.engine().stats();
   r.faults_injected = injector_.total_fires();
-  r.chunk_retries = es.chunk_retries;
-  r.chunks_dropped = es.chunks_dropped;
-  r.swap_aborts = es.swaps_aborted;
+  r.chunk_retries = m.chunk_retries;
+  r.chunks_dropped = m.chunks_dropped;
+  r.swap_aborts = m.swap_aborts;
   r.audits = auditor_.audits();
-  r.degraded = ctl_.engine().degraded();
-  r.degraded_at = ctl_.engine().degraded_at();
+  r.degraded = m.degraded;
+  r.degraded_at = m.degraded_at;
   const auto& events = injector_.events();
   r.fault_events.assign(
       events.begin(),
@@ -321,7 +332,7 @@ void load_stat(snap::Reader& r, RunningStat& s) {
 void MemSim::save(snap::Writer& w) const {
   on_.save(w);
   off_.save(w);
-  ctl_.save(w);
+  scheme_->save(w);
   injector_.save(w);
   auditor_.save(w);
   w.begin_section(snap::tag('M', 'S', 'I', 'M'));
@@ -346,7 +357,7 @@ void MemSim::save(snap::Writer& w) const {
 void MemSim::restore(snap::Reader& r) {
   on_.restore(r);
   off_.restore(r);
-  ctl_.restore(r);
+  scheme_->restore(r);
   injector_.restore(r);
   auditor_.restore(r);
   r.begin_section(snap::tag('M', 'S', 'I', 'M'));

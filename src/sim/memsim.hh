@@ -1,9 +1,11 @@
 // Trace-driven main-memory simulator (Section IV).
 //
-// Replays a reference stream through the heterogeneity-aware controller:
-// translation + hotness monitoring + swap triggering, demand requests into
-// the per-region cycle-level DRAM models, background migration traffic
-// interleaved by the engine, and (design N) full stalls during swaps.
+// Replays a reference stream through a pluggable MemoryScheme (the paper's
+// swap designs wrap the heterogeneity-aware controller; the zoo adds
+// cache-style alternatives): translation + hotness/tag tracking + swap or
+// fill triggering, demand requests into the per-region cycle-level DRAM
+// models, background copy traffic interleaved with demand, and (design N)
+// full stalls during swaps.
 //
 // The replay is open-loop on trace timestamps with a bounded-outstanding
 // throttle: when a region's demand backlog exceeds the limit (finite MSHRs
@@ -13,6 +15,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "common/stats.hh"
@@ -20,6 +24,7 @@
 #include "fault/auditor.hh"
 #include "fault/fault_injector.hh"
 #include "power/energy_model.hh"
+#include "schemes/scheme.hh"
 #include "sim/run_result.hh"
 #include "trace/generator.hh"
 
@@ -27,6 +32,12 @@ namespace hmm {
 
 struct MemSimConfig {
   ControllerConfig controller;
+  /// Registry name of the memory scheme to simulate ("N", "N-1", "Live",
+  /// "Alloy", "flat-HMA", "MemCache"); "" derives the swap scheme from
+  /// `controller.design` (the pre-zoo behaviour, bit-identical).
+  std::string scheme;
+  /// MemCache knob: on-package fraction operated as a cache.
+  double cache_fraction = 0.5;
   SchedulerPolicy policy = SchedulerPolicy::FrFcfs;
   std::size_t max_demand_backlog = 48;
   /// Reference modes for the Fig 11 guide lines.
@@ -64,7 +75,17 @@ class MemSim {
 
   [[nodiscard]] RunResult result() const;
 
-  [[nodiscard]] HeteroMemoryController& controller() noexcept { return ctl_; }
+  /// The simulated scheme (always valid).
+  [[nodiscard]] schemes::MemoryScheme& scheme() noexcept { return *scheme_; }
+  [[nodiscard]] const schemes::MemoryScheme& scheme() const noexcept {
+    return *scheme_;
+  }
+  /// Warm-up fast-forward, scheme-generic (see MemoryScheme::set_instant).
+  void set_instant_migration(bool on) { scheme_->set_instant(on); }
+  /// The swap designs' controller. Throws SimError(CheckFailed) when the
+  /// configured scheme is not one of N / N-1 / Live — cache-style schemes
+  /// have no HeteroMemoryController.
+  [[nodiscard]] HeteroMemoryController& controller();
   [[nodiscard]] DramSystem& on_package() noexcept { return on_; }
   [[nodiscard]] DramSystem& off_package() noexcept { return off_; }
   [[nodiscard]] const fault::FaultInjector& injector() const noexcept {
@@ -105,7 +126,7 @@ class MemSim {
   MemSimConfig cfg_;  // no-snapshot(construction-time config)
   DramSystem on_;
   DramSystem off_;
-  HeteroMemoryController ctl_;
+  std::unique_ptr<schemes::MemoryScheme> scheme_;
   fault::FaultInjector injector_;
   fault::InvariantAuditor auditor_;
   // no-snapshot(host wall-clock; meaningless across processes)

@@ -20,9 +20,9 @@ ProbeResult GranularityTuner::probe(const WorkloadFactory& make,
   const auto warm = static_cast<std::uint64_t>(
       static_cast<double>(window) * cfg_.warmup_fraction);
   if (warm > 0) {
-    sim.controller().set_instant_migration(true);
+    sim.set_instant_migration(true);
     sim.run(*w, warm);
-    sim.controller().set_instant_migration(false);
+    sim.set_instant_migration(false);
     sim.reset_stats();
   }
   sim.run(*w, window - warm);

@@ -384,7 +384,10 @@ TEST(ResultSinkDurability, ArtifactIsWrittenAtomically) {
   body << is.rdbuf();
   const std::string json = body.str();
   EXPECT_EQ(json.front(), '{');
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  // v4: wall-clock throughput, per cell and sweep-wide.
+  EXPECT_NE(json.find("\"accesses_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"accesses_per_sec_total\""), std::string::npos);
   std::filesystem::remove_all(dir);
 }
 

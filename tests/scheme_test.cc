@@ -1,0 +1,387 @@
+// Scheme-zoo tests: the registry (canonical names, structured unknown-name
+// error), golden bit-identity of the extracted N / N-1 / Live swap schemes
+// against the pre-refactor controller, behaviour sanity for the Alloy /
+// flat-HMA / MemCache designs, per-scheme snapshot round-trips, and the
+// invariant auditor catching injected per-scheme corruption.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/snapshot.hh"
+#include "runner/experiment.hh"
+#include "schemes/alloy.hh"
+#include "schemes/flat_hma.hh"
+#include "schemes/memcache.hh"
+#include "schemes/registry.hh"
+#include "sim/memsim.hh"
+#include "trace/workloads.hh"
+
+namespace hmm {
+namespace {
+
+using fault::FaultSite;
+using fault::SimError;
+using fault::SimErrorKind;
+
+// --- fixtures ---------------------------------------------------------------
+
+// The exact cell the pre-refactor goldens were captured on: FT workload,
+// Section IV geometry, swap_interval 2000, 6000 warm-up + 6000 measured
+// references, seed derive_seed(42, "golden/<name>").
+MemSimConfig golden_cfg(const std::string& scheme) {
+  MemSimConfig cfg;
+  cfg.controller.geom = Geometry{4 * GiB, 512 * MiB, 256 * KiB, 4 * KiB};
+  cfg.controller.swap_interval = 2000;
+  cfg.controller.migration_enabled = true;
+  cfg.scheme = scheme;
+  return cfg;
+}
+
+struct GoldenRun {
+  RunResult result;
+  std::uint32_t table_crc = 0;
+};
+
+GoldenRun golden_replay(MemSimConfig cfg, const std::string& seed_name) {
+  const std::uint64_t seed =
+      runner::derive_seed(42, "golden/" + seed_name);
+  MemSim sim(cfg);
+  auto gen = section4_workloads()[0].make(seed);  // FT
+  sim.set_instant_migration(true);
+  sim.run(*gen, 6000);
+  sim.set_instant_migration(false);
+  sim.reset_stats();
+  sim.run(*gen, 6000);
+  sim.finish();
+  GoldenRun g;
+  g.result = sim.result();
+  snap::Writer w;
+  sim.controller().table().save(w);
+  g.table_crc = snap::crc32(w.buffer().data(), w.buffer().size());
+  return g;
+}
+
+// Every deterministic metric the pre-refactor controller produced on the
+// golden cell; captured before src/schemes/ existed.
+struct Golden {
+  const char* name;
+  MigrationDesign design;
+  std::uint64_t seed;
+  std::uint64_t swaps, migrated, on_bytes, off_bytes, os_stall, end;
+  double avg, p99, onfrac;
+  std::uint32_t table_crc;
+};
+
+constexpr Golden kGoldens[] = {
+    {"N", MigrationDesign::N, 2415334064924998932ull, 78, 1572864, 254976,
+     129024, 9906, 486456, 2649.3843333333334, 65536.0,
+     0.62333333333333329, 1913507095u},
+    {"N-1", MigrationDesign::NMinus1, 7828113572835807877ull, 68, 786432,
+     254144, 129856, 43180, 226851, 192.56916666666666, 512.0, 0.616,
+     3942147815u},
+    {"Live", MigrationDesign::LiveMigration, 91150292251304964ull, 72,
+     786432, 250112, 133888, 45720, 227072, 192.73866666666666, 512.0,
+     0.61333333333333329, 3428239332u},
+};
+
+void expect_matches_golden(const GoldenRun& g, const Golden& x) {
+  const RunResult& r = g.result;
+  EXPECT_EQ(r.accesses, 6000u);
+  EXPECT_EQ(r.swaps, x.swaps);
+  EXPECT_EQ(r.migrated_bytes, x.migrated);
+  EXPECT_EQ(r.demand_bytes_on, x.on_bytes);
+  EXPECT_EQ(r.demand_bytes_off, x.off_bytes);
+  EXPECT_EQ(r.os_stall_cycles, x.os_stall);
+  EXPECT_EQ(r.end_time, x.end);
+  EXPECT_DOUBLE_EQ(r.avg_latency, x.avg);
+  EXPECT_DOUBLE_EQ(r.p99_latency, x.p99);
+  EXPECT_DOUBLE_EQ(r.on_package_fraction, x.onfrac);
+  EXPECT_EQ(g.table_crc, x.table_crc);
+}
+
+// Scaled-down geometry for the zoo behaviour tests (fast, and small
+// enough that the skewed pgbench hot set fits on-package).
+MemSimConfig zoo_cfg(const std::string& scheme) {
+  MemSimConfig cfg;
+  cfg.controller.geom = Geometry{4 * GiB, 512 * MiB, 1 * MiB, 4 * KiB};
+  cfg.controller.swap_interval = 1000;
+  cfg.controller.migration_enabled = true;
+  cfg.scheme = scheme;
+  return cfg;
+}
+
+RunResult zoo_replay(const MemSimConfig& cfg, std::uint64_t n,
+                     std::uint64_t seed = 21) {
+  MemSim sim(cfg);
+  auto w = make_pgbench(seed);
+  sim.run(*w, n);
+  sim.finish();
+  return sim.result();
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(SchemeRegistry, NamesAreCanonicalAndOrdered) {
+  const std::vector<std::string> expected{"N",     "N-1",      "Live",
+                                          "Alloy", "flat-HMA", "MemCache"};
+  EXPECT_EQ(schemes::scheme_names(), expected);
+}
+
+TEST(SchemeRegistry, UnknownNameIsAStructuredError) {
+  try {
+    schemes::validate_scheme_name("Aloy");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::CheckFailed);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown memory scheme 'Aloy'"), std::string::npos)
+        << msg;
+    for (const std::string& name : schemes::scheme_names())
+      EXPECT_NE(msg.find(name), std::string::npos) << msg;
+  }
+}
+
+TEST(SchemeRegistry, MemSimRejectsUnknownSchemeName) {
+  MemSimConfig cfg = zoo_cfg("definitely-not-a-scheme");
+  EXPECT_THROW(MemSim sim(cfg), SimError);
+}
+
+TEST(SchemeRegistry, SwapNameOverridesControllerDesign) {
+  // The registry forces controller.design to match the scheme name, so a
+  // grid only has to set cfg.scheme.
+  MemSimConfig cfg = zoo_cfg("N-1");
+  cfg.controller.design = MigrationDesign::N;  // deliberately stale
+  MemSim sim(cfg);
+  EXPECT_STREQ(sim.scheme().name(), "N-1");
+  EXPECT_EQ(sim.controller().config().design, MigrationDesign::NMinus1);
+}
+
+TEST(SchemeRegistry, ControllerAccessorThrowsForCacheStyleSchemes) {
+  MemSim sim(zoo_cfg("Alloy"));
+  EXPECT_STREQ(sim.scheme().name(), "Alloy");
+  EXPECT_THROW((void)sim.controller(), SimError);
+}
+
+// --- golden bit-identity ----------------------------------------------------
+
+// The extracted SwapScheme must reproduce the pre-refactor controller
+// bit-for-bit: every metric and the final translation-table snapshot.
+TEST(SchemeGolden, SwapSchemesMatchPreRefactorController) {
+  for (const Golden& x : kGoldens) {
+    SCOPED_TRACE(x.name);
+    EXPECT_EQ(runner::derive_seed(42, std::string("golden/") + x.name),
+              x.seed);
+    expect_matches_golden(golden_replay(golden_cfg(x.name), x.name), x);
+  }
+}
+
+// The pre-zoo configuration style (cfg.scheme empty, controller.design
+// set) must keep working and hit the same goldens.
+TEST(SchemeGolden, EmptySchemeNameDerivesFromControllerDesign) {
+  for (const Golden& x : kGoldens) {
+    SCOPED_TRACE(x.name);
+    MemSimConfig cfg = golden_cfg("");
+    cfg.controller.design = x.design;
+    expect_matches_golden(golden_replay(cfg, x.name), x);
+  }
+}
+
+// --- zoo behaviour ----------------------------------------------------------
+
+TEST(AlloyScheme, CachesTheHotSetWithoutSwaps) {
+  const RunResult r = zoo_replay(zoo_cfg("Alloy"), 40000);
+  EXPECT_EQ(r.accesses, 40000u);
+  EXPECT_GT(r.on_package_fraction, 0.15);  // pgbench re-touches hot lines
+  EXPECT_EQ(r.swaps, 0u);                 // no choreography at all
+  EXPECT_GT(r.migrated_bytes, 0u);        // background line fills
+  EXPECT_EQ(r.os_stall_cycles, 0u);       // no OS in the loop
+}
+
+TEST(AlloySchemeUnit, RepeatAccessHitsAndVictimWritesBack) {
+  MemSim sim(zoo_cfg("Alloy"));
+  auto& alloy = dynamic_cast<schemes::AlloyScheme&>(sim.scheme());
+  schemes::LineCache& c = alloy.cache_for_test();
+  const PhysAddr a = 4096;
+  const PhysAddr conflict = a + c.sets() * c.line_bytes();  // same set
+  EXPECT_FALSE(c.present(a));
+  EXPECT_FALSE(c.access(a, /*dirty=*/true).hit);   // cold miss, fills
+  EXPECT_TRUE(c.access(a, /*dirty=*/false).hit);   // now resident
+  const auto lk = c.access(conflict, /*dirty=*/false);
+  EXPECT_FALSE(lk.hit);
+  EXPECT_TRUE(lk.victim_valid);
+  EXPECT_TRUE(lk.victim_dirty);
+  EXPECT_EQ(lk.victim_addr, a - a % c.line_bytes());
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(FlatHmaScheme, PlacesOnceAfterProfileEpochThenNeverMoves) {
+  MemSimConfig cfg = zoo_cfg("flat-HMA");
+  MemSim sim(cfg);
+  auto& hma = dynamic_cast<schemes::FlatHmaScheme&>(sim.scheme());
+  auto w = make_pgbench(21);
+  sim.run(*w, 500);  // inside the profile epoch
+  EXPECT_FALSE(hma.placed());
+  EXPECT_DOUBLE_EQ(sim.result().on_package_fraction, 0.0);
+  sim.run(*w, 40000);
+  sim.finish();
+  EXPECT_TRUE(hma.placed());
+  const RunResult r = sim.result();
+  EXPECT_GT(r.swaps, 0u);  // placements
+  EXPECT_EQ(r.migrated_bytes, r.swaps * cfg.controller.geom.page_bytes);
+  EXPECT_GT(r.on_package_fraction, 0.3);
+  EXPECT_GT(r.os_stall_cycles, 0u);  // one table update per placement
+}
+
+TEST(MemCacheScheme, PartitionFollowsTheCacheFractionKnob) {
+  MemSimConfig half = zoo_cfg("MemCache");
+  const std::uint64_t on = half.controller.geom.on_package_bytes;
+  {
+    MemSim sim(half);
+    auto& mc = dynamic_cast<schemes::MemCacheScheme&>(sim.scheme());
+    EXPECT_EQ(mc.memory_fraction_bytes(), on / 2);
+  }
+  MemSimConfig pure_mem = half;
+  pure_mem.cache_fraction = 0.0;
+  {
+    MemSim sim(pure_mem);
+    auto& mc = dynamic_cast<schemes::MemCacheScheme&>(sim.scheme());
+    EXPECT_EQ(mc.memory_fraction_bytes(), on);
+  }
+  MemSimConfig pure_cache = half;
+  pure_cache.cache_fraction = 1.0;
+  {
+    MemSim sim(pure_cache);
+    auto& mc = dynamic_cast<schemes::MemCacheScheme&>(sim.scheme());
+    EXPECT_EQ(mc.memory_fraction_bytes(), 0u);
+  }
+}
+
+TEST(MemCacheScheme, MemoryFractionServesLowAddressesForFree) {
+  MemSim sim(zoo_cfg("MemCache"));
+  auto& mc = dynamic_cast<schemes::MemCacheScheme&>(sim.scheme());
+  const Route r = mc.translate(mc.memory_fraction_bytes() - 1);
+  EXPECT_EQ(r.region, Region::OnPackage);
+  EXPECT_EQ(r.mach, mc.memory_fraction_bytes() - 1);  // identity mapping
+  const RunResult run = zoo_replay(zoo_cfg("MemCache"), 40000);
+  EXPECT_GT(run.on_package_fraction, 0.1);
+  EXPECT_EQ(run.swaps, 0u);
+}
+
+// --- snapshot round-trips ---------------------------------------------------
+
+// Interrupted-vs-uninterrupted equivalence, per scheme: run half, save,
+// restore into a twin, run both to the end — all deterministic results
+// must agree exactly.
+void expect_snapshot_roundtrip(const MemSimConfig& cfg) {
+  const std::uint64_t n = 30000;
+  MemSim a(cfg);
+  auto wa = make_pgbench(7);
+  a.run_chunk(*wa, n / 2);
+  snap::Writer w;
+  a.save(w);
+  wa->save(w);
+
+  MemSim b(cfg);
+  auto wb = make_pgbench(7);
+  snap::Reader r(w.buffer());
+  b.restore(r);
+  wb->restore(r);
+
+  a.run_chunk(*wa, n / 2);
+  b.run_chunk(*wb, n / 2);
+  a.finish();
+  b.finish();
+  const RunResult ra = a.result();
+  const RunResult rb = b.result();
+  EXPECT_EQ(ra.accesses, rb.accesses);
+  EXPECT_DOUBLE_EQ(ra.avg_latency, rb.avg_latency);
+  EXPECT_DOUBLE_EQ(ra.p99_latency, rb.p99_latency);
+  EXPECT_DOUBLE_EQ(ra.on_package_fraction, rb.on_package_fraction);
+  EXPECT_EQ(ra.swaps, rb.swaps);
+  EXPECT_EQ(ra.migrated_bytes, rb.migrated_bytes);
+  EXPECT_EQ(ra.demand_bytes_on, rb.demand_bytes_on);
+  EXPECT_EQ(ra.demand_bytes_off, rb.demand_bytes_off);
+  EXPECT_EQ(ra.os_stall_cycles, rb.os_stall_cycles);
+  EXPECT_EQ(ra.end_time, rb.end_time);
+}
+
+TEST(SchemeSnapshot, EverySchemeRoundTrips) {
+  for (const std::string& name : schemes::scheme_names()) {
+    SCOPED_TRACE(name);
+    expect_snapshot_roundtrip(zoo_cfg(name));
+  }
+}
+
+// --- auditor integration ----------------------------------------------------
+
+TEST(SchemeAudit, AuditorCatchesCorruptedAlloyTagStore) {
+  MemSimConfig cfg = zoo_cfg("Alloy");
+  cfg.audit_interval = 100;
+  MemSim sim(cfg);
+  auto w = make_pgbench(5);
+  sim.run(*w, 1000);  // clean prefix: audits pass
+  auto& alloy = dynamic_cast<schemes::AlloyScheme&>(sim.scheme());
+  alloy.cache_for_test().corrupt_valid_count_for_test();
+  try {
+    sim.run(*w, 1000);
+    FAIL() << "expected SimError(AuditFailed)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::AuditFailed);
+    EXPECT_NE(std::string(e.what()).find("alloy tag store"),
+              std::string::npos);
+  }
+}
+
+TEST(SchemeAudit, AuditorCatchesCorruptedFlatHmaPlacement) {
+  MemSimConfig cfg = zoo_cfg("flat-HMA");
+  cfg.audit_interval = 100;
+  MemSim sim(cfg);
+  auto w = make_pgbench(5);
+  sim.run(*w, 2000);  // past the profile epoch: placement exists
+  auto& hma = dynamic_cast<schemes::FlatHmaScheme&>(sim.scheme());
+  hma.corrupt_placement_for_test();
+  try {
+    sim.run(*w, 1000);
+    FAIL() << "expected SimError(AuditFailed)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::AuditFailed);
+    EXPECT_NE(std::string(e.what()).find("flat-HMA placement"),
+              std::string::npos);
+  }
+}
+
+// --- fault tolerance --------------------------------------------------------
+
+// HotnessCorrupt must stay benign in every scheme (wrong heat accounting
+// or a dropped tag entry — never a wrong route or a crash), and the
+// table-targeting TableBitFlip site must be a no-op for table-less
+// schemes rather than a null dereference.
+TEST(SchemeFaults, HotnessCorruptAndTableFlipAreSafeAcrossTheZoo) {
+  for (const std::string& name : schemes::scheme_names()) {
+    SCOPED_TRACE(name);
+    MemSimConfig cfg = zoo_cfg(name);
+    cfg.audit_interval = 500;  // audits must keep passing under fire
+    cfg.fault.add(FaultSite::HotnessCorrupt, 0.02)
+        .add(FaultSite::TableBitFlip, 0.001);
+    MemSim sim(cfg);
+    auto w = make_pgbench(9);
+    RunResult r;
+    try {
+      sim.run(*w, 20000);
+      sim.finish();
+      r = sim.result();
+    } catch (const SimError& e) {
+      // Swap schemes may legitimately detect a flipped table bit as an
+      // audit/check failure — that is the structured-surfacing contract.
+      const bool has_table = sim.scheme().mutable_table() != nullptr;
+      ASSERT_TRUE(has_table) << name << ": " << e.what();
+      continue;
+    }
+    EXPECT_EQ(r.accesses, 20000u);
+    EXPECT_GT(r.faults_injected, 0u);
+    EXPECT_GT(r.audits, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hmm
