@@ -20,6 +20,8 @@
 //   HMM_CELL_TIMEOUT       per-cell wall-clock deadline in seconds
 //   --list-cells           print the deterministic "key seed" enumeration
 //                          of the sweep grid and exit
+//   --list-schemes         print the scheme registry (one name per line)
+//                          and exit (schemes-aware benches)
 //   --resume               skip cells recorded in the sweep journal (after
 //                          an interrupted/killed run); recorded metrics
 //                          replay bit-identically
@@ -42,6 +44,7 @@
 
 #include "common/params.hh"
 #include "runner/progress.hh"
+#include "schemes/registry.hh"
 #include "runner/result_sink.hh"
 #include "runner/runner.hh"
 #include "runner/supervisor.hh"
@@ -159,6 +162,17 @@ inline void maybe_list_cells(const std::vector<runner::ExperimentSpec>& grid,
           opts.base_seed, s.seed_key.empty() ? s.key : s.seed_key);
       std::cout << s.key << " " << seed << "\n";
     }
+    std::exit(0);
+  }
+}
+
+/// `--list-schemes`: print the scheme registry (the exact names the
+/// bench's grid and --schemes accept), one per line, and exit 0.
+inline void maybe_list_schemes(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-schemes") != 0) continue;
+    for (const std::string& s : schemes::scheme_names())
+      std::cout << s << "\n";
     std::exit(0);
   }
 }

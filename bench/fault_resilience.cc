@@ -1,28 +1,40 @@
 // Fault resilience: the paper's "execution never halts" claim under
-// adversity, measured. Sweeps fault rate x migration design {N, N-1,
-// N-1+Live} with the deterministic fault injector armed at the migration
-// copy path (chunk drop / chunk re-stream / channel stall / mid-flight
-// swap abort / hotness corruption) and the periodic invariant audit on.
+// adversity, measured — across the whole scheme registry. Sweeps fault
+// rate x scheme {N, N-1, Live, nomad, Alloy, flat-HMA, MemCache} with
+// the deterministic fault injector armed at the migration copy path
+// (chunk drop / chunk re-stream / channel stall / mid-flight swap abort
+// / hotness corruption) and the periodic invariant audit on.
 //
 // What the table shows:
-//  * N-1 and Live complete at every rate — recovering (retries, aborted
-//    swaps rolled back to a valid Fig-8 state) or entering degraded mode
-//    (table frozen, traffic still served) — with zero audit failures;
+//  * N-1, Live, and nomad complete at every rate — recovering (retries,
+//    aborted swaps/transactions rolled back to a valid state) or
+//    entering degraded mode (table frozen, traffic still served) — with
+//    zero audit failures; nomad's recovery is the transactional abort
+//    (DESIGN.md §10), so its aborts column counts rolled-back txns;
+//  * the cache/static schemes (Alloy, flat-HMA, MemCache) have no
+//    migration copy path to corrupt, so only channel stalls touch them —
+//    they anchor the "no scheme ever wedges" claim at the boring end;
 //  * the basic N design has no recovery choreography: once its retry
 //    budget exhausts, the watchdog reports a structured SimError
 //    (status "failed", error "[watchdog] ..."), never a hang;
-//  * latency degradation vs the fault-free baseline of the same design.
+//  * latency degradation vs the fault-free baseline of the same scheme.
 //
 // A final wedge-demo cell (design N, chunk drop rate 1.0) asserts the
 // watchdog path end to end: the bench exits non-zero if that cell does
 // NOT fail with a watchdog error.
 //
-// Knobs: --fault-rate R (replaces the sweep with the single rate R),
-// --fault-sites a,b (subset of: chunk-drop, chunk-delay, channel-stall,
-// swap-abort, hotness-corrupt, table-bit-flip; the default leaves
-// table-bit-flip out — deliberate table corruption is *supposed* to fail
-// the audit, see tests/fault_test.cc), --audit-interval N, --jobs,
-// --smoke, --keep-going, HMM_CELL_TIMEOUT.
+// The JSON artifact is BENCH_fault_resilience.json; every cell must end
+// "ok", "failed" with a structured error, or "interrupted" — never
+// "crashed"/"timeout" (scripts/check_cell_statuses.py enforces this in
+// scripts/check_resilience.sh).
+//
+// Knobs: --list-schemes (print the registry and exit), --fault-rate R
+// (replaces the sweep with the single rate R), --fault-sites a,b
+// (subset of: chunk-drop, chunk-delay, channel-stall, swap-abort,
+// hotness-corrupt, table-bit-flip; the default leaves table-bit-flip
+// out — deliberate table corruption is *supposed* to fail the audit,
+// see tests/fault_test.cc), --audit-interval N, --jobs, --smoke,
+// --keep-going, HMM_CELL_TIMEOUT.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -30,6 +42,7 @@
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "schemes/registry.hh"
 
 using namespace hmm;
 
@@ -53,11 +66,11 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::maybe_list_schemes(argc, argv);
+
   const std::uint64_t n = bench::scaled(300'000);
   std::vector<double> rates = {0.0, 1e-4, 1e-3, 1e-2};
-  const std::vector<MigrationDesign> designs = {
-      MigrationDesign::N, MigrationDesign::NMinus1,
-      MigrationDesign::LiveMigration};
+  const std::vector<std::string>& names = schemes::scheme_names();
   const std::uint64_t page = 256 * KiB;
   const std::uint64_t interval = 1'000;
   const std::uint64_t audits = bench::audit_interval(argc, argv, 4'096);
@@ -76,9 +89,9 @@ int main(int argc, char** argv) {
   for (const WorkloadInfo& cand : workloads)
     if (cand.name == "pgbench") w = cand;
 
-  std::printf("Fault resilience: %s, %s pages, %llu-access epochs, audit "
-              "every %llu accesses (%llu accesses/cfg)\n\n",
-              w.name.c_str(), format_size(page).c_str(),
+  std::printf("Fault resilience: %s, %zu schemes, %s pages, %llu-access "
+              "epochs, audit every %llu accesses (%llu accesses/cfg)\n\n",
+              w.name.c_str(), names.size(), format_size(page).c_str(),
               static_cast<unsigned long long>(interval),
               static_cast<unsigned long long>(audits),
               static_cast<unsigned long long>(n));
@@ -86,10 +99,16 @@ int main(int argc, char** argv) {
   std::vector<runner::ExperimentSpec> grid;
   const std::string wk = "fault_resilience/" + w.name;
   for (const double rate : rates) {
-    for (const MigrationDesign d : designs) {
-      const std::string key =
-          wk + "/r" + std::to_string(rate) + "/" + to_string(d);
-      MemSimConfig cfg = bench::migration_config(page, d, interval);
+    for (const std::string& s : names) {
+      const std::string key = wk + "/r" + std::to_string(rate) + "/" + s;
+      // One config shape for every scheme: the swap designs read .design
+      // (the registry forces it from the name), the cache schemes use
+      // the geometry plus the partition knob.
+      MemSimConfig cfg =
+          bench::migration_config(page, MigrationDesign::LiveMigration,
+                                  interval);
+      cfg.scheme = s;
+      cfg.cache_fraction = 0.5;
       cfg.audit_interval = audits;
       cfg.fault = make_plan(sites, rate, runner::derive_seed(42, key));
       grid.push_back(bench::cell(key, wk, w, cfg, n));
@@ -108,32 +127,32 @@ int main(int argc, char** argv) {
   }
 
   const runner::RunnerOptions opts =
-      bench::runner_options(argc, argv, "fault_resilience");
+      bench::runner_options(argc, argv, "BENCH_fault_resilience");
   bench::maybe_list_cells(grid, opts, argc, argv);
   const std::vector<runner::CellResult> cells =
       runner::ExperimentRunner(opts).run(grid);
 
-  runner::ResultSink sink("fault_resilience");
+  runner::ResultSink sink("BENCH_fault_resilience");
   sink.set_param("workload", w.name);
   sink.set_param("page", format_size(page));
   sink.set_param("interval", interval);
   sink.set_param("audit_interval", audits);
   sink.set_param("accesses", n);
 
-  // Fault-free baseline latency per design (rate 0 is always first).
-  TextTable t({"rate", "design", "status", "avg lat", "vs r=0", "swaps",
+  // Fault-free baseline latency per scheme (rate 0 is always first).
+  TextTable t({"rate", "scheme", "status", "avg lat", "vs r=0", "swaps",
                "retries", "aborts", "degraded"});
-  std::vector<double> base(designs.size(), 0.0);
+  std::vector<double> base(names.size(), 0.0);
   std::size_t i = 0;
   for (std::size_t ri = 0; ri < rates.size(); ++ri) {
-    for (std::size_t di = 0; di < designs.size(); ++di) {
+    for (std::size_t si = 0; si < names.size(); ++si) {
       const runner::CellResult& c = cells[i++];
       const RunResult& r = c.result;
-      if (ri == 0 && c.ok) base[di] = r.avg_latency;
+      if (ri == 0 && c.ok) base[si] = r.avg_latency;
       std::vector<std::string> row{TextTable::num(rates[ri], 6),
-                                   to_string(designs[di]), c.status};
+                                   names[si], c.status};
       if (c.ok) {
-        const double ratio = base[di] > 0 ? r.avg_latency / base[di] : 0.0;
+        const double ratio = base[si] > 0 ? r.avg_latency / base[si] : 0.0;
         if (ratio > 0) sink.add_derived(c.key, "latency_ratio", ratio);
         row.push_back(TextTable::num(r.avg_latency));
         row.push_back(ratio > 0 ? TextTable::num(ratio, 3) + "x" : "-");

@@ -22,12 +22,7 @@ using namespace hmm;
 namespace {
 
 [[nodiscard]] const char* design_name(MigrationDesign d) {
-  switch (d) {
-    case MigrationDesign::N: return "N";
-    case MigrationDesign::NMinus1: return "N-1";
-    case MigrationDesign::LiveMigration: return "Live";
-  }
-  return "?";
+  return to_string(d);
 }
 
 }  // namespace

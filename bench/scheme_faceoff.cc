@@ -1,5 +1,6 @@
-// Scheme face-off: the full zoo (N, N-1, Live, Alloy, flat-HMA, MemCache)
-// head-to-head on the fig11-style workloads, one grid, one artifact.
+// Scheme face-off: the full zoo (N, N-1, Live, nomad, Alloy, flat-HMA,
+// MemCache) head-to-head on the fig11-style workloads, one grid, one
+// artifact.
 //
 // Every scheme replays the identical reference stream per workload (shared
 // seed key), so the table is a controlled comparison: the paper's swap
@@ -10,9 +11,10 @@
 // against.
 //
 // Extra knobs on top of the shared bench flags:
-//   --schemes a,b,c      subset of registry names (default: all six);
-//                        an unknown name exits 2 with the registry's
-//                        structured error message
+//   --list-schemes       print the registry names (one per line), exit 0
+//   --schemes a,b,c      subset of registry names (default: the whole
+//                        registry); an unknown name exits 2 with the
+//                        registry's structured error message
 //   --cache-fraction F   MemCache partition knob (default 0.5)
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +63,7 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::maybe_list_schemes(argc, argv);
   std::vector<std::string> names;
   try {
     names = selected_schemes(argc, argv);

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Assert a sweep artifact's cells all ended in a sanctioned terminal state.
+
+The resilience claim (DESIGN.md §10, README failure-modes table) is that
+no fault ever wedges or crashes a run: every cell of a fault-injection
+sweep must finish "ok", or "failed" carrying a *structured* SimError
+(whose message is "[kind] ..." — e.g. the design-N "[watchdog] ..."
+wedge detection, or an "[audit] ..." invariant hit). Raw crashes,
+supervisor timeouts, and unstructured errors ("crashed" / "timeout" /
+"error" statuses, or a "failed" cell whose message lacks the "[kind]"
+prefix) mean a fault escaped the recovery choreography, and fail this
+check.
+
+Usage: check_cell_statuses.py BENCH_*.json [more.json ...]
+Exit: 0 when every cell of every artifact is sanctioned, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def check_artifact(path: str) -> int:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    cells = doc.get("cells", [])
+    if not cells:
+        print(f"{path}: no cells in artifact", file=sys.stderr)
+        return 1
+    bad = 0
+    for cell in cells:
+        key = cell.get("key", "<unkeyed>")
+        status = cell.get("status", "<missing>")
+        error = cell.get("error", "")
+        if status == "ok":
+            continue
+        if status == "failed" and error.startswith("["):
+            # A structured SimError: the run *detected* the fault and
+            # reported it — the sanctioned non-ok ending.
+            continue
+        print(f"{path}: cell {key}: unsanctioned terminal state "
+              f"status={status!r} error={error!r}", file=sys.stderr)
+        bad += 1
+    schemes = {c.get("key", "").rsplit("/", 1)[-1] for c in cells}
+    print(f"{path}: {len(cells)} cells across {len(schemes)} schemes, "
+          f"{bad} unsanctioned")
+    return 1 if bad else 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= check_artifact(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

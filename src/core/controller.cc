@@ -8,16 +8,18 @@ HeteroMemoryController::HeteroMemoryController(const ControllerConfig& cfg,
                                                DramSystem& on_package,
                                                DramSystem& off_package)
     : cfg_(cfg),
-      table_(cfg.geom, cfg.design == MigrationDesign::N
-                           ? TableMode::FunctionalN
-                           : TableMode::HardwareNMinus1),
+      table_(cfg.geom,
+             cfg.design == MigrationDesign::N ? TableMode::FunctionalN
+             : cfg.design == MigrationDesign::Nomad
+                 ? TableMode::Shadow
+                 : TableMode::HardwareNMinus1),
       engine_(table_, on_package, off_package,
               MigrationEngine::Config{cfg.design, cfg.critical_first, 0}),
       slot_tracker_(cfg.geom.slots()),
       mq_(params::kMultiQueueLevels, params::kMultiQueueEntriesPerLevel) {}
 
 HeteroMemoryController::Decision HeteroMemoryController::on_access(
-    PhysAddr addr, AccessType /*type*/, Cycle now) {
+    PhysAddr addr, AccessType type, Cycle now) {
   Decision d;
   d.route = table_.translate(addr);
   d.extra_latency = params::kTranslationTableLatency;
@@ -26,6 +28,14 @@ HeteroMemoryController::Decision HeteroMemoryController::on_access(
   const Geometry& g = cfg_.geom;
   const PageId p = g.page_of(addr);
   const std::uint32_t sb = g.sub_block_of(g.offset_of(addr));
+
+  if (type == AccessType::Write && table_.shadow_active() &&
+      p == table_.shadow_page()) {
+    // Demand write to the page under transaction: the write lands at the
+    // committed home (which keeps serving), so whatever shadow copy of
+    // this sub-block exists in the hole is now stale.
+    table_.shadow_mark_dirty(sb);
+  }
 
   if (d.route.region == Region::OnPackage) {
     ++stats_.on_package_hits;
@@ -69,6 +79,10 @@ HeteroMemoryController::Decision HeteroMemoryController::on_access(
 }
 
 void HeteroMemoryController::consider_swap(Cycle now) {
+  if (cfg_.design == MigrationDesign::Nomad) {
+    consider_migration(now);
+    return;
+  }
   // One swap per epoch in normal operation (the engine is busy for the
   // rest of the epoch anyway); during instant-migration warm-up the chain
   // is allowed to run deeper so placement converges within a scaled trace.
@@ -107,6 +121,66 @@ void HeteroMemoryController::consider_swap(Cycle now) {
     } else {
       ++stats_.swaps_rejected;
       break;
+    }
+  }
+
+  slot_tracker_.reset_epoch();
+  if (cfg_.oracle_hotness)
+    oracle_.reset_epoch();
+  else
+    mq_.reset_epoch();
+}
+
+void HeteroMemoryController::consider_migration(Cycle now) {
+  // Nomad moves one page per transaction, alternating with the hole: an
+  // on-package hole invites a promotion (and leaves the promoted page's
+  // old home as an off-package hole); an off-package hole invites a
+  // demotion under the hottest-coldest rule (and re-opens an on-package
+  // hole). Instant warm-up chains deeper, like consider_swap().
+  const int max_moves = engine_.instant() ? 64 : 1;
+  const Geometry& g = cfg_.geom;
+
+  for (int k = 0; k < max_moves; ++k) {
+    const MultiQueueTracker::Hottest hot =
+        cfg_.oracle_hotness ? oracle_.hottest() : mq_.hottest();
+    if (!hot.found) break;
+    ++stats_.swap_attempts;
+
+    const bool hole_on_package =
+        g.region_of(g.machine_base(table_.hole())) == Region::OnPackage;
+    bool started = false;
+    bool promoted = false;
+    if (hole_on_package) {
+      started = engine_.start_migration(hot.page, now);
+      promoted = started;
+    } else {
+      const std::uint64_t hot_rate =
+          cfg_.oracle_hotness ? hot.epoch_count : hot.epoch_count / 2;
+      auto migratable = [&](SlotId s) {
+        const PageId resident = table_.page_at(s);
+        return resident != kInvalidPage && engine_.can_migrate(resident);
+      };
+      const SlotClockTracker::Victim cold =
+          slot_tracker_.pick_victim(migratable);
+      if (cold.found &&
+          std::max<std::uint64_t>(hot_rate, 1) > cold.epoch_count)
+        started = engine_.start_migration(table_.page_at(cold.slot), now);
+    }
+    if (!started) {
+      ++stats_.swaps_rejected;
+      break;
+    }
+    if (promoted) {
+      if (cfg_.oracle_hotness)
+        oracle_.erase(hot.page);
+      else
+        mq_.erase(hot.page);
+    }
+    if (cfg_.is_os_assisted()) {
+      // A transaction is exactly two table updates: begin and commit.
+      const Cycle stall = 2 * params::kOsUpdateOverhead;
+      stats_.os_stall_cycles += stall;
+      pending_os_stall_ += stall;
     }
   }
 

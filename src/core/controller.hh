@@ -114,6 +114,10 @@ class HeteroMemoryController {
 
  private:
   void consider_swap(Cycle now);
+  /// Nomad: hole-directed trigger — promote the hottest off-package page
+  /// into an on-package hole, or demote the coldest resident when the
+  /// hole is off-package (DESIGN.md §10).
+  void consider_migration(Cycle now);
 
   ControllerConfig cfg_;  // no-snapshot(construction-time config)
   TranslationTable table_;

@@ -34,6 +34,9 @@ MigrationEngine::MigrationEngine(TranslationTable& table,
   HMM_CHECK((cfg.design == MigrationDesign::N) ==
                 (table.mode() == TableMode::FunctionalN),
             "migration design and table mode disagree");
+  HMM_CHECK((cfg.design == MigrationDesign::Nomad) ==
+                (table.mode() == TableMode::Shadow),
+            "nomad design requires the Shadow table mode");
 }
 
 std::uint64_t MigrationEngine::chunk_size() const noexcept {
@@ -48,6 +51,7 @@ std::uint64_t MigrationEngine::chunk_size() const noexcept {
 }
 
 bool MigrationEngine::can_swap(PageId hot, SlotId cold_slot) const noexcept {
+  if (cfg_.design == MigrationDesign::Nomad) return false;  // use can_migrate
   if (!idle() || degraded_ || wedged_) return false;
   const Geometry& g = table_.geometry();
   if (hot >= g.total_pages() || hot == g.omega()) return false;
@@ -198,6 +202,48 @@ std::vector<CopyStep> MigrationEngine::plan_swap(
   return plan;
 }
 
+bool MigrationEngine::can_migrate(PageId page) const noexcept {
+  if (cfg_.design != MigrationDesign::Nomad) return false;
+  if (!idle() || degraded_ || wedged_) return false;
+  const Geometry& g = table_.geometry();
+  if (page >= g.total_pages() || page == g.omega()) return false;
+  // Only cross-boundary moves change the placement: promotion into an
+  // on-package hole or demotion out of the on-package region.
+  const MachAddr src = table_.location_of(page);
+  const MachAddr dst = g.machine_base(table_.hole());
+  return g.region_of(src) != g.region_of(dst);
+}
+
+std::vector<CopyStep> MigrationEngine::plan_txn(PageId page) const {
+  const Geometry& g = table_.geometry();
+  CopyStep st;
+  st.src = table_.location_of(page);
+  st.dst = g.machine_base(table_.hole());
+  st.bytes = g.page_bytes;
+  // The commit is the step's ONLY mutation: one atomic table write, so a
+  // crash replay lands before or after the whole transaction.
+  st.after = {commit_shadow_mutation()};
+  return {st};
+}
+
+bool MigrationEngine::start_migration(PageId page, Cycle now) {
+  if (!can_migrate(page)) return false;
+  steps_ = plan_txn(page);
+  apply(begin_shadow_mutation(page, table_.hole()));
+  ++stats_.swaps_started;
+  swap_began_ = now;
+  pass_ = 0;
+  if (instant_) {
+    for (const CopyStep& st : steps_)
+      for (const TableMutation& m : st.after) apply(m);
+    steps_.clear();
+    ++stats_.swaps_completed;
+    return true;
+  }
+  begin_step(now);
+  return true;
+}
+
 bool MigrationEngine::start_swap(PageId hot, std::uint32_t hot_sub_block,
                                  SlotId cold_slot, Cycle now) {
   if (!can_swap(hot, cold_slot)) return false;
@@ -218,6 +264,7 @@ bool MigrationEngine::start_swap(PageId hot, std::uint32_t hot_sub_block,
 }
 
 std::uint64_t MigrationEngine::chunk_offset(std::uint64_t k) const noexcept {
+  if (!pass_offsets_.empty()) return pass_offsets_[k];
   const std::uint64_t idx = (first_chunk_ + k) % chunks_total_;
   return idx * chunk_size();
 }
@@ -225,6 +272,15 @@ std::uint64_t MigrationEngine::chunk_offset(std::uint64_t k) const noexcept {
 void MigrationEngine::begin_step(Cycle at) {
   const CopyStep& st = steps_.front();
   const std::uint64_t chunk = chunk_size();
+  if (cfg_.design == MigrationDesign::Nomad) {
+    // Pass 0 streams the whole page in order; finish_pass() re-streams
+    // only what demand writes dirtied.
+    std::vector<std::uint64_t> offsets;
+    for (std::uint64_t off = 0; off < st.bytes; off += chunk)
+      offsets.push_back(off);
+    begin_pass(std::move(offsets), at);
+    return;
+  }
   chunks_total_ = std::max<std::uint64_t>(1, st.bytes / chunk);
   next_chunk_ = 0;
   chunks_completed_ = 0;
@@ -242,10 +298,37 @@ void MigrationEngine::begin_step(Cycle at) {
     submit_read(next_chunk_++, at);
 }
 
+void MigrationEngine::begin_pass(std::vector<std::uint64_t> offsets,
+                                 Cycle at) {
+  HMM_CHECK(!offsets.empty(), "nomad copy pass with no chunks");
+  pass_offsets_ = std::move(offsets);
+  chunks_total_ = pass_offsets_.size();
+  next_chunk_ = 0;
+  chunks_completed_ = 0;
+  first_chunk_ = 0;
+  retry_count_.clear();
+  const unsigned window = std::max(1u, cfg_.copy_window);
+  while (next_chunk_ < chunks_total_ && next_chunk_ < window)
+    submit_read(next_chunk_++, at);
+}
+
 void MigrationEngine::submit_read(std::uint64_t chunk, Cycle at) {
   const CopyStep& st = steps_.front();
-  const MachAddr addr = st.src + chunk_offset(chunk);
+  const std::uint64_t offset = chunk_offset(chunk);
+  const MachAddr addr = st.src + offset;
   const Geometry& g = table_.geometry();
+  if (cfg_.design == MigrationDesign::Nomad && table_.shadow_active()) {
+    // A sub-block's dirty bit is cleared when the chunk holding its FIRST
+    // byte is submitted for (re-)reading. Clearing at submission rather
+    // than completion is conservative: a demand write racing the
+    // in-flight read re-dirties the sub-block and forces another pass,
+    // even if the read would have observed the new data.
+    const std::uint64_t sub = g.sub_block_bytes;
+    const std::uint64_t end = offset + chunk_size();
+    for (std::uint64_t b = ((offset + sub - 1) / sub) * sub; b < end;
+         b += sub)
+      table_.shadow_clear_dirty(g.sub_block_of(b));
+  }
   DramSystem& sys = g.region_of(addr) == Region::OnPackage ? on_ : off_;
   const RequestId id = sys.submit(
       addr, static_cast<std::uint32_t>(chunk_size()), AccessType::Read,
@@ -316,12 +399,25 @@ void MigrationEngine::on_completion(const DramCompletion& c, Region from) {
     for (std::uint64_t b = (offset / sub) * sub; b < end; b += sub) {
       if (b + sub <= end) table_.mark_sub_block(g.sub_block_of(b));
     }
+  } else if (cfg_.design == MigrationDesign::Nomad &&
+             table_.shadow_active()) {
+    // Same last-byte rule as the live fill: a sub-block counts as filled
+    // once the chunk write covering its final byte lands (chunks of one
+    // sub-block complete in order on the serialized channel).
+    const std::uint64_t sub = g.sub_block_bytes;
+    const std::uint64_t end = offset + chunk_size();
+    for (std::uint64_t b = (offset / sub) * sub; b < end; b += sub) {
+      if (b + sub <= end) table_.shadow_mark_filled(g.sub_block_of(b));
+    }
   }
   ++chunks_completed_;
   if (next_chunk_ < chunks_total_) {
     submit_read(next_chunk_++, c.finish);
   } else if (chunks_completed_ == chunks_total_ && inflight_.empty()) {
-    finish_step(c.finish);
+    if (cfg_.design == MigrationDesign::Nomad)
+      finish_pass(c.finish);
+    else
+      finish_step(c.finish);
   }
 }
 
@@ -348,7 +444,55 @@ void MigrationEngine::handle_chunk_failure(const InFlightChunk& fc, Cycle at) {
     abort_swap(at);
 }
 
+void MigrationEngine::finish_pass(Cycle at) {
+  const Geometry& g = table_.geometry();
+  const std::uint64_t cs = chunk_size();
+  const std::uint64_t sub = g.sub_block_bytes;
+  // Collect the chunk offsets covering every sub-block still unfilled or
+  // dirtied by a demand write during this pass.
+  std::vector<std::uint64_t> next;
+  for (std::uint32_t b = 0; b < g.sub_blocks_per_page(); ++b) {
+    if (table_.shadow_filled(b) && !table_.shadow_dirty(b)) continue;
+    const std::uint64_t first = static_cast<std::uint64_t>(b) * sub;
+    const std::uint64_t lo = (first / cs) * cs;
+    for (std::uint64_t off = lo; off < first + sub; off += cs)
+      if (next.empty() || next.back() < off) next.push_back(off);
+  }
+  if (next.empty()) {
+    // Every sub-block filled and clean: the copy converged — commit.
+    pass_offsets_.clear();
+    pass_ = 0;
+    finish_step(at);
+    return;
+  }
+  if (pass_ + 1 >= cfg_.max_copy_passes) {
+    // The writer is outrunning the copier; give up cleanly.
+    abort_swap(at);
+    return;
+  }
+  ++pass_;
+  begin_pass(std::move(next), at);
+}
+
 void MigrationEngine::abort_swap(Cycle at) {
+  if (cfg_.design == MigrationDesign::Nomad) {
+    // Transactional rollback: one mutation discards the shadow copy and
+    // the table is bit-identical to its pre-begin state (begin never
+    // touched the routing). The hole is never lost, so unlike N-1 there
+    // is no slot-lost degradation path — only a persistent fault storm
+    // (K consecutive aborts) freezes the placement.
+    if (table_.shadow_active()) apply(abort_shadow_mutation());
+    steps_.clear();
+    inflight_.clear();
+    retry_count_.clear();
+    pass_offsets_.clear();
+    pass_ = 0;
+    ++stats_.swaps_aborted;
+    stats_.busy_cycles += at - swap_began_;
+    if (++consecutive_aborts_ >= cfg_.degrade_after_aborts)
+      enter_degraded(at);
+    return;
+  }
   // Table mutations only ever apply at step completions, so the current
   // table state *is* the last step boundary — a valid Fig-8 state where
   // every page still has exactly one data home. Rolling back is therefore
@@ -403,6 +547,11 @@ void MigrationEngine::apply_mutation(TranslationTable& table,
     case TableMutation::Kind::SetOccupant:
       table.set_occupant(m.row, m.page);
       break;
+    case TableMutation::Kind::BeginShadow:
+      table.begin_shadow(m.page, m.machine);
+      break;
+    case TableMutation::Kind::CommitShadow: table.commit_shadow(); break;
+    case TableMutation::Kind::AbortShadow: table.abort_shadow(); break;
   }
 }
 
@@ -466,6 +615,13 @@ void MigrationEngine::save(snap::Writer& w) const {
   w.u64(next_chunk_);
   w.u64(chunks_completed_);
   w.u64(first_chunk_);
+  if (cfg_.design == MigrationDesign::Nomad) {
+    // Appended only for nomad so the other designs' byte layouts (and
+    // their golden snapshot CRCs) are unchanged.
+    w.u32(pass_);
+    w.u64(pass_offsets_.size());
+    for (const std::uint64_t off : pass_offsets_) w.u64(off);
+  }
 
   std::vector<std::pair<std::uint64_t, InFlightChunk>> fl(inflight_.begin(),
                                                           inflight_.end());
@@ -526,6 +682,14 @@ void MigrationEngine::restore(snap::Reader& r) {
   next_chunk_ = r.u64();
   chunks_completed_ = r.u64();
   first_chunk_ = r.u64();
+  if (cfg_.design == MigrationDesign::Nomad) {
+    pass_ = r.u32();
+    pass_offsets_.assign(r.u64(), 0);
+    for (std::uint64_t& off : pass_offsets_) off = r.u64();
+  } else {
+    pass_ = 0;
+    pass_offsets_.clear();
+  }
 
   inflight_.clear();
   for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {

@@ -20,6 +20,14 @@
 //   LiveMigration  — N-1 plus F bit and a sub-block bitmap; the hot page
 //                    is served from the partially-filled slot, and the copy
 //                    starts at the critical (most recently used) sub-block.
+//   Nomad          — transactional migration (DESIGN.md §10): a page is
+//                    streamed into the free "hole" page while its old home
+//                    keeps serving reads AND writes; demand writes dirty
+//                    the affected sub-blocks, dirty sub-blocks are
+//                    re-copied in bounded extra passes, and the migration
+//                    ends in a single atomic commit (or a clean abort that
+//                    leaves the table bit-identical to its pre-begin
+//                    state). No fault site can wedge this design.
 #pragma once
 
 #include <cstdint>
@@ -33,13 +41,14 @@
 
 namespace hmm {
 
-enum class MigrationDesign : std::uint8_t { N, NMinus1, LiveMigration };
+enum class MigrationDesign : std::uint8_t { N, NMinus1, LiveMigration, Nomad };
 
 [[nodiscard]] constexpr const char* to_string(MigrationDesign d) noexcept {
   switch (d) {
     case MigrationDesign::N: return "N";
     case MigrationDesign::NMinus1: return "N-1";
     case MigrationDesign::LiveMigration: return "Live";
+    case MigrationDesign::Nomad: return "nomad";
   }
   return "?";
 }
@@ -53,6 +62,9 @@ struct TableMutation {
     ClearPending,  ///< row = `row`
     NoteData,      ///< page `page` now lives at machine page `machine`
     SetOccupant,   ///< FunctionalN bookkeeping
+    BeginShadow,   ///< open a transaction: `page` -> hole (`machine`)
+    CommitShadow,  ///< atomically re-point the page at the hole
+    AbortShadow,   ///< discard the transaction (pre-begin table state)
   };
   Kind kind;
   SlotId row = 0;
@@ -90,6 +102,10 @@ class MigrationEngine {
     /// After this many consecutive aborted swaps the engine freezes the
     /// table at its current (valid) mapping and stops migrating.
     unsigned degrade_after_aborts = 3;
+    /// Nomad: total copy passes allowed per transaction (pass 0 streams
+    /// the whole page; each later pass re-copies only the sub-blocks that
+    /// demand writes dirtied). Exhausting the budget aborts the txn.
+    unsigned max_copy_passes = 4;
   };
 
   struct Stats {
@@ -145,6 +161,27 @@ class MigrationEngine {
   bool start_swap(PageId hot, std::uint32_t hot_sub_block, SlotId cold_slot,
                   Cycle now);
 
+  // --- Nomad (transactional migration) -------------------------------------
+  /// True if migrating `page` into the hole is possible now (Nomad only;
+  /// the move must cross the package boundary to be worth anything).
+  [[nodiscard]] bool can_migrate(PageId page) const noexcept;
+  /// Begin a transaction moving `page` into the hole. Returns false if
+  /// can_migrate() says no.
+  bool start_migration(PageId page, Cycle now);
+  /// Transaction plan exposed for the checker/tests: one full-page copy
+  /// step whose completion mutation is the atomic commit.
+  [[nodiscard]] std::vector<CopyStep> plan_txn(PageId page) const;
+  [[nodiscard]] static TableMutation begin_shadow_mutation(
+      PageId page, PageId dst_machine) noexcept {
+    return {TableMutation::Kind::BeginShadow, 0, page, dst_machine};
+  }
+  [[nodiscard]] static TableMutation commit_shadow_mutation() noexcept {
+    return {TableMutation::Kind::CommitShadow, 0, kInvalidPage, kInvalidPage};
+  }
+  [[nodiscard]] static TableMutation abort_shadow_mutation() noexcept {
+    return {TableMutation::Kind::AbortShadow, 0, kInvalidPage, kInvalidPage};
+  }
+
   /// Feed every Background completion from either region back here.
   void on_completion(const DramCompletion& c, Region from);
 
@@ -175,6 +212,11 @@ class MigrationEngine {
 
   [[nodiscard]] std::uint64_t chunk_size() const noexcept;
   void begin_step(Cycle at);
+  /// Nomad: stream the given chunk byte offsets as one copy pass.
+  void begin_pass(std::vector<std::uint64_t> offsets, Cycle at);
+  /// Nomad: pass done — commit if clean, re-copy dirty/unfilled
+  /// sub-blocks, or abort when the pass budget is exhausted.
+  void finish_pass(Cycle at);
   void submit_read(std::uint64_t chunk, Cycle at);
   void submit_write(std::uint64_t chunk, Cycle at);
   void finish_step(Cycle at);
@@ -197,6 +239,10 @@ class MigrationEngine {
   Stats stats_;
 
   std::vector<CopyStep> steps_;  ///< remaining steps, front = current
+  /// Nomad: byte offsets streamed by the current pass (empty for the
+  /// other designs, which walk chunk_offset()'s rotation instead).
+  std::vector<std::uint64_t> pass_offsets_;
+  unsigned pass_ = 0;  ///< Nomad: current copy pass index
   std::uint64_t chunks_total_ = 0;
   std::uint64_t next_chunk_ = 0;       ///< next chunk to start reading
   std::uint64_t chunks_completed_ = 0;

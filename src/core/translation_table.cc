@@ -20,6 +20,11 @@ TranslationTable::TranslationTable(const Geometry& g, TableMode mode)
     empty_cache_ = last;
     location_[last] = geom_.omega();
   }
+  if (mode_ == TableMode::Shadow) {
+    // The reserved page Ω is the boot-time hole: it holds no OS page's
+    // data, so the first transaction can stream into it immediately.
+    hole_ = geom_.omega();
+  }
 }
 
 PageId TranslationTable::shadow_location(PageId p) const noexcept {
@@ -58,7 +63,9 @@ Route TranslationTable::translate(PhysAddr addr) const noexcept {
   }
 
   PageId machine_page;
-  if (mode_ == TableMode::FunctionalN) {
+  if (mode_ != TableMode::HardwareNMinus1) {
+    // FunctionalN and Shadow both serve from the placement map; in Shadow
+    // mode a page under transaction keeps routing to its committed home.
     machine_page = shadow_location(p);
   } else if (p < slots_) {
     const RowState& row = rows_[static_cast<SlotId>(p)];
@@ -78,7 +85,7 @@ Route TranslationTable::translate(PhysAddr addr) const noexcept {
 }
 
 PageCategory TranslationTable::category(PageId p) const noexcept {
-  if (mode_ == TableMode::FunctionalN) {
+  if (mode_ != TableMode::HardwareNMinus1) {
     const PageId loc = shadow_location(p);
     const bool fast = loc < slots_;
     if (p < slots_) return fast ? PageCategory::OriginalFast
@@ -179,6 +186,96 @@ void TranslationTable::set_occupant(SlotId s, PageId page) {
   rows_[s].occupant = page;
 }
 
+PageId TranslationTable::page_at(PageId machine_page) const noexcept {
+  for (const auto& [p, m] : location_)
+    if (m == machine_page) return p;
+  // No exception maps here: the identity resident, unless that page's own
+  // data moved away (then the machine page is free) or it is the hole/Ω.
+  if (location_.count(machine_page) != 0) return kInvalidPage;
+  if (machine_page == hole_ || machine_page == geom_.omega())
+    return kInvalidPage;
+  return machine_page;
+}
+
+void TranslationTable::begin_shadow(PageId page, PageId dst_machine) {
+  HMM_CHECK(mode_ == TableMode::Shadow, "begin_shadow outside Shadow mode");
+  HMM_CHECK(!shadow_active_, "begin_shadow while a transaction is active");
+  HMM_CHECK(page < geom_.total_pages() && page != geom_.omega(),
+            "shadow transaction on a reserved or out-of-range page");
+  HMM_CHECK(dst_machine == hole_,
+            "shadow destination must be the current hole");
+  shadow_active_ = true;
+  shadow_page_ = page;
+  shadow_src_ = shadow_location(page);
+  shadow_dst_ = dst_machine;
+  shadow_filled_.assign(geom_.sub_blocks_per_page(), false);
+  shadow_dirty_.assign(geom_.sub_blocks_per_page(), false);
+}
+
+void TranslationTable::shadow_mark_filled(std::uint32_t index) {
+  HMM_CHECK(shadow_active_ && index < shadow_filled_.size(),
+            "shadow_mark_filled outside an active transaction");
+  shadow_filled_[index] = true;
+}
+
+void TranslationTable::shadow_mark_dirty(std::uint32_t index) {
+  HMM_CHECK(shadow_active_ && index < shadow_dirty_.size(),
+            "shadow_mark_dirty outside an active transaction");
+  shadow_dirty_[index] = true;
+}
+
+void TranslationTable::shadow_clear_dirty(std::uint32_t index) {
+  HMM_CHECK(shadow_active_ && index < shadow_dirty_.size(),
+            "shadow_clear_dirty outside an active transaction");
+  shadow_dirty_[index] = false;
+}
+
+bool TranslationTable::shadow_filled(std::uint32_t index) const noexcept {
+  return shadow_active_ && index < shadow_filled_.size() &&
+         shadow_filled_[index];
+}
+
+bool TranslationTable::shadow_dirty(std::uint32_t index) const noexcept {
+  return shadow_active_ && index < shadow_dirty_.size() &&
+         shadow_dirty_[index];
+}
+
+std::uint32_t TranslationTable::shadow_dirty_count() const noexcept {
+  std::uint32_t n = 0;
+  for (const bool b : shadow_dirty_)
+    if (b) ++n;
+  return n;
+}
+
+void TranslationTable::commit_shadow() {
+  HMM_CHECK(shadow_active_, "commit_shadow without an active transaction");
+  // One atomic re-point: the page's home becomes the (filled) hole, and
+  // the old home — which served every access up to this instant — becomes
+  // the new hole. Nothing else moves, so a crash lands on either side of
+  // a single table write, never in between.
+  note_data_at(shadow_page_, shadow_dst_);
+  hole_ = shadow_src_;
+  shadow_active_ = false;
+  shadow_page_ = kInvalidPage;
+  shadow_src_ = kInvalidPage;
+  shadow_dst_ = kInvalidPage;
+  shadow_filled_.clear();
+  shadow_dirty_.clear();
+}
+
+void TranslationTable::abort_shadow() {
+  HMM_CHECK(shadow_active_, "abort_shadow without an active transaction");
+  // begin_shadow never touched the routing, so dropping the shadow state
+  // *is* the rollback: the committed home never stopped serving and the
+  // hole is still the hole.
+  shadow_active_ = false;
+  shadow_page_ = kInvalidPage;
+  shadow_src_ = kInvalidPage;
+  shadow_dst_ = kInvalidPage;
+  shadow_filled_.clear();
+  shadow_dirty_.clear();
+}
+
 std::string TranslationTable::validate() const {
   if (mode_ == TableMode::FunctionalN) {
     // The basic N design has no P/F hardware; any such state is corruption.
@@ -190,6 +287,53 @@ std::string TranslationTable::validate() const {
     for (const auto& [p, m] : location_) {
       if (!inverse.emplace(m, p).second)
         return "two pages mapped to the same machine page";
+    }
+    return {};
+  }
+
+  if (mode_ == TableMode::Shadow) {
+    // Shadow mode never uses the N-1 hardware: the rows stay identity and
+    // no P/F state is ever set, so any such state is a fault (TableBitFlip
+    // lands here).
+    if (fill_active_) return "fill active in Shadow mode";
+    if (empty_cache_.has_value()) return "empty slot marked in Shadow mode";
+    for (SlotId s = 0; s < slots_; ++s) {
+      if (rows_[s].pending) return "pending bit set in Shadow mode";
+      if (rows_[s].occupant != s)
+        return "occupant field corrupted in Shadow mode";
+    }
+    std::unordered_map<PageId, PageId> inverse;
+    for (const auto& [p, m] : location_) {
+      if (p >= geom_.total_pages() || p == geom_.omega())
+        return "placement entry for a reserved or out-of-range page";
+      if (m >= geom_.total_pages())
+        return "page mapped outside the machine address space";
+      if (m == hole_) return "page mapped at the hole";
+      if (!inverse.emplace(m, p).second)
+        return "two pages mapped to the same machine page";
+      // If m is an OS page other than p itself, its identity resident must
+      // have moved away or two pages would share the machine page.
+      if (m != p && m != geom_.omega() && location_.count(m) == 0)
+        return "page mapped over a still-resident identity page";
+    }
+    if (hole_ >= geom_.total_pages()) return "hole out of range";
+    if (hole_ != geom_.omega() && location_.count(hole_) == 0)
+      return "hole overlaps a resident identity page";
+    if (shadow_active_) {
+      if (shadow_page_ >= geom_.total_pages() ||
+          shadow_page_ == geom_.omega())
+        return "shadow transaction on a reserved or out-of-range page";
+      if (shadow_dst_ != hole_)
+        return "shadow destination is not the hole";
+      if (shadow_src_ != shadow_location(shadow_page_))
+        return "shadow source disagrees with the committed home";
+      if (shadow_filled_.size() != geom_.sub_blocks_per_page() ||
+          shadow_dirty_.size() != geom_.sub_blocks_per_page())
+        return "shadow bitmap size disagrees with geometry";
+    } else {
+      if (shadow_page_ != kInvalidPage || !shadow_filled_.empty() ||
+          !shadow_dirty_.empty())
+        return "shadow state left behind after commit/abort";
     }
     return {};
   }
@@ -291,6 +435,19 @@ void TranslationTable::save(snap::Writer& w) const {
   w.u64(fill_old_base_);
   w.u64(fill_bitmap_.size());
   for (const bool bit : fill_bitmap_) w.b(bit);
+  if (mode_ == TableMode::Shadow) {
+    // Appended only in Shadow mode so the byte layout of existing modes
+    // (and their golden CRCs) is unchanged.
+    w.u64(hole_);
+    w.b(shadow_active_);
+    w.u64(shadow_page_);
+    w.u64(shadow_src_);
+    w.u64(shadow_dst_);
+    w.u64(shadow_filled_.size());
+    for (const bool bit : shadow_filled_) w.b(bit);
+    w.u64(shadow_dirty_.size());
+    for (const bool bit : shadow_dirty_) w.b(bit);
+  }
   w.end_section();
 }
 
@@ -322,6 +479,27 @@ void TranslationTable::restore(snap::Reader& r) {
   fill_old_base_ = r.u64();
   fill_bitmap_.assign(r.u64(), false);
   for (std::size_t i = 0; i < fill_bitmap_.size(); ++i) fill_bitmap_[i] = r.b();
+  if (mode_ == TableMode::Shadow) {
+    hole_ = r.u64();
+    shadow_active_ = r.b();
+    shadow_page_ = r.u64();
+    shadow_src_ = r.u64();
+    shadow_dst_ = r.u64();
+    shadow_filled_.assign(r.u64(), false);
+    for (std::size_t i = 0; i < shadow_filled_.size(); ++i)
+      shadow_filled_[i] = r.b();
+    shadow_dirty_.assign(r.u64(), false);
+    for (std::size_t i = 0; i < shadow_dirty_.size(); ++i)
+      shadow_dirty_[i] = r.b();
+  } else {
+    hole_ = kInvalidPage;
+    shadow_active_ = false;
+    shadow_page_ = kInvalidPage;
+    shadow_src_ = kInvalidPage;
+    shadow_dst_ = kInvalidPage;
+    shadow_filled_.clear();
+    shadow_dirty_.clear();
+  }
   r.end_section();
 }
 

@@ -25,6 +25,17 @@
 // P/F bits): translation is served from the explicit placement map, since
 // the pairwise encoding cannot express the transient states N would need —
 // the paper's N design simply halts execution during a swap instead.
+//
+// Mode Shadow is the transactional "nomad" variant (see DESIGN.md §10):
+// translation is served from the placement map exactly like FunctionalN,
+// but one machine page — the hole — is kept free of live data. A
+// migration is a transaction: begin_shadow() records the page and its
+// committed home, the engine streams the page into the hole while the old
+// home keeps serving reads AND writes, demand writes dirty the affected
+// sub-blocks (shadow_mark_dirty), and commit_shadow() atomically re-points
+// the page at the hole (the old home becomes the new hole). abort_shadow()
+// discards the shadow copy; the table is bit-identical to its pre-begin
+// state because begin never touched the routing.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +49,7 @@
 
 namespace hmm {
 
-enum class TableMode : std::uint8_t { FunctionalN, HardwareNMinus1 };
+enum class TableMode : std::uint8_t { FunctionalN, HardwareNMinus1, Shadow };
 
 /// Macro-page categories of Section III-A.
 enum class PageCategory : std::uint8_t {
@@ -106,6 +117,42 @@ class TranslationTable {
   /// FunctionalN bookkeeping: page `page` now occupies slot `s`.
   void set_occupant(SlotId s, PageId page);
 
+  // --- Shadow mode (transactional migration) -------------------------------
+  /// The machine page holding no live data (kInvalidPage outside Shadow).
+  [[nodiscard]] PageId hole() const noexcept { return hole_; }
+  [[nodiscard]] bool shadow_active() const noexcept { return shadow_active_; }
+  /// The page under transaction (kInvalidPage when inactive).
+  [[nodiscard]] PageId shadow_page() const noexcept { return shadow_page_; }
+  /// Committed home (machine page) of the page under transaction.
+  [[nodiscard]] PageId shadow_src() const noexcept { return shadow_src_; }
+  /// The shadow copy's destination (always the hole).
+  [[nodiscard]] PageId shadow_dst() const noexcept { return shadow_dst_; }
+  /// OS page whose data currently lives at `machine_page` (FunctionalN /
+  /// Shadow placement-map modes only; kInvalidPage for a free machine
+  /// page, e.g. the hole).
+  [[nodiscard]] PageId page_at(PageId machine_page) const noexcept;
+
+  /// Begin a transaction: `page` will be copied into the hole. Routing is
+  /// NOT changed — the committed home keeps serving until commit_shadow().
+  void begin_shadow(PageId page, PageId dst_machine);
+  /// Sub-block `index` of the shadow copy has landed in the hole.
+  void shadow_mark_filled(std::uint32_t index);
+  /// A demand write hit sub-block `index` of the page under transaction —
+  /// whatever shadow copy of it exists is now stale.
+  void shadow_mark_dirty(std::uint32_t index);
+  /// The engine re-read sub-block `index` from the committed home.
+  void shadow_clear_dirty(std::uint32_t index);
+  [[nodiscard]] bool shadow_filled(std::uint32_t index) const noexcept;
+  [[nodiscard]] bool shadow_dirty(std::uint32_t index) const noexcept;
+  [[nodiscard]] std::uint32_t shadow_dirty_count() const noexcept;
+  /// Atomically re-point the page at the hole; the old home becomes the
+  /// new hole. The transactional obligation — every sub-block filled and
+  /// clean — is the engine's, and is exactly what the choreography model
+  /// checker proves (its CommitDespiteDirty sabotage violates it).
+  void commit_shadow();
+  /// Discard the transaction; the table returns to its pre-begin state.
+  void abort_shadow();
+
   /// Cross-checks the hardware encoding against the placement map and the
   /// structural invariants; returns an error description or empty string.
   [[nodiscard]] std::string validate() const;
@@ -150,6 +197,16 @@ class TranslationTable {
   PageId fill_page_ = kInvalidPage;
   MachAddr fill_old_base_ = 0;
   std::vector<bool> fill_bitmap_;
+
+  // Shadow-mode transactional state (serialized only when mode_ ==
+  // Shadow, so the byte layouts of the other modes never change).
+  PageId hole_ = kInvalidPage;
+  bool shadow_active_ = false;
+  PageId shadow_page_ = kInvalidPage;
+  PageId shadow_src_ = kInvalidPage;
+  PageId shadow_dst_ = kInvalidPage;
+  std::vector<bool> shadow_filled_;
+  std::vector<bool> shadow_dirty_;
 };
 
 }  // namespace hmm

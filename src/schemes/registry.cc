@@ -9,7 +9,7 @@ namespace hmm::schemes {
 
 const std::vector<std::string>& scheme_names() {
   static const std::vector<std::string> names = {
-      "N", "N-1", "Live", "Alloy", "flat-HMA", "MemCache"};
+      "N", "N-1", "Live", "nomad", "Alloy", "flat-HMA", "MemCache"};
   return names;
 }
 
@@ -42,6 +42,7 @@ std::unique_ptr<MemoryScheme> make_scheme(const std::string& name,
   if (name == "N") return swap(MigrationDesign::N);
   if (name == "N-1") return swap(MigrationDesign::NMinus1);
   if (name == "Live") return swap(MigrationDesign::LiveMigration);
+  if (name == "nomad") return swap(MigrationDesign::Nomad);
   if (name == "Alloy")
     return std::make_unique<AlloyScheme>(cfg, on_package, off_package);
   if (name == "flat-HMA")

@@ -16,7 +16,7 @@
 namespace hmm::schemes {
 
 /// Registered scheme names, in the canonical bench order:
-/// N, N-1, Live, Alloy, flat-HMA, MemCache.
+/// N, N-1, Live, nomad, Alloy, flat-HMA, MemCache.
 [[nodiscard]] const std::vector<std::string>& scheme_names();
 
 /// The structured unknown-name error (kind CheckFailed), naming every

@@ -66,7 +66,9 @@ class Explorer {
   explicit Explorer(const CheckerConfig& cfg)
       : cfg_(cfg),
         mode_(cfg.design == MigrationDesign::N ? TableMode::FunctionalN
-                                               : TableMode::HardwareNMinus1),
+              : cfg.design == MigrationDesign::Nomad
+                  ? TableMode::Shadow
+                  : TableMode::HardwareNMinus1),
         table_(cfg.geom, mode_),
         on_(DramSystem::make(Region::OnPackage)),
         off_(DramSystem::make(Region::OffPackage)),
@@ -115,8 +117,10 @@ class Explorer {
                 "(keep it to <= 64 pages x <= 64 sub-blocks)");
       return false;
     }
-    if (g.slots() < 3) {
+    if (g.slots() < 3 && cfg_.design != MigrationDesign::Nomad) {
       // Fig 8(c)/(d) needs hot slot, cold slot and empty slot distinct.
+      // Nomad has no slot choreography (the hole is the only moving
+      // part), so 2 slots already reach every transactional case.
       violation("model geometry needs >= 3 on-package slots to reach "
                 "every Fig-8 case");
       return false;
@@ -312,6 +316,10 @@ class Explorer {
 
   void expand_quiescent(const State& s) {
     ++report_.quiescent_states;
+    if (cfg_.design == MigrationDesign::Nomad) {
+      expand_quiescent_nomad(s);
+      return;
+    }
     if (mode_ == TableMode::HardwareNMinus1 &&
         !table_.empty_slot().has_value()) {
       // An abort after the hot page consumed the empty slot: the N-1
@@ -354,8 +362,151 @@ class Explorer {
 
   void expand_in_flight(const State& s) {
     ++report_.in_flight_states;
+    if (cfg_.design == MigrationDesign::Nomad) {
+      advance_nomad(s);
+      if (cfg_.explore_aborts) abort_nomad(s);
+      return;
+    }
     advance(s);
     if (cfg_.explore_aborts) abort_swap(s);
+  }
+
+  /// Nomad `start` transitions: a transaction can begin on every page a
+  /// cross-boundary move makes sense for. The begin goes through
+  /// apply_mutation() like everything else, and — deliberately — changes
+  /// no routing: the committed home keeps serving.
+  void expand_quiescent_nomad(const State& s) {
+    for (PageId p = 0; p < probe_limit(); ++p) {
+      load_table(s);  // a prior successor left its state in the scratch
+      if (!engine_.can_migrate(p)) continue;
+      ++report_.swaps_started;
+      ++report_.transitions;
+      try {
+        load_table(s);
+        State t;
+        t.mem = s.mem;
+        t.plan = engine_.plan_txn(p);
+        t.progress = 0;
+        MigrationEngine::apply_mutation(
+            table_, MigrationEngine::begin_shadow_mutation(p, table_.hole()));
+        t.table = save_table();
+        canonicalize(t);
+        push(t);
+      } catch (const fault::SimError& e) {
+        violation(std::string("start_migration transition threw: ") +
+                  e.what() + " " + describe(s));
+      }
+    }
+  }
+
+  /// Nomad transitions from an in-flight (shadow-active) state:
+  ///   copy    — stream the first sub-block still unfilled or dirty into
+  ///             the hole (a re-copy clears the dirty bit, exactly like
+  ///             MigrationEngine's pass loop);
+  ///   commit  — only once every sub-block is filled and clean (the
+  ///             CommitDespiteDirty sabotage commits with dirt left);
+  ///   write   — a demand write can hit any sub-block at any boundary:
+  ///             it lands at the committed home, dirties the sub-block,
+  ///             and stales an already-filled shadow copy.
+  void advance_nomad(const State& s) {
+    const std::uint32_t nsb = cfg_.geom.sub_blocks_per_page();
+    const CopyStep st = s.plan.front();
+    load_table(s);
+    bool all_filled = true;
+    bool any_dirty = false;
+    std::uint32_t next = nsb;
+    for (std::uint32_t b = 0; b < nsb; ++b) {
+      const bool filled = table_.shadow_filled(b);
+      const bool dirty = table_.shadow_dirty(b);
+      all_filled = all_filled && filled;
+      any_dirty = any_dirty || dirty;
+      if (next == nsb && (!filled || dirty)) next = b;
+    }
+    const bool clean = next == nsb;
+    const bool sabotaged_commit =
+        cfg_.sabotage == Sabotage::CommitDespiteDirty && all_filled &&
+        any_dirty;
+
+    if (clean || sabotaged_commit) {
+      ++report_.transitions;
+      try {
+        load_table(s);
+        State t;
+        t.mem = s.mem;
+        t.progress = 0;
+        for (const TableMutation& m : st.after)
+          MigrationEngine::apply_mutation(table_, m);
+        t.table = save_table();
+        canonicalize(t);
+        push(t);
+      } catch (const fault::SimError& e) {
+        violation(std::string("commit transition threw: ") + e.what() + " " +
+                  describe(s));
+      }
+    }
+    if (!clean) {
+      ++report_.transitions;
+      try {
+        load_table(s);
+        State t;
+        t.mem = s.mem;
+        t.plan = s.plan;
+        t.progress = 0;
+        t.mem[ms_index(st.dst) + next] = t.mem[ms_index(st.src) + next];
+        table_.shadow_clear_dirty(next);
+        table_.shadow_mark_filled(next);
+        t.table = save_table();
+        canonicalize(t);
+        push(t);
+      } catch (const fault::SimError& e) {
+        violation(std::string("copy transition threw: ") + e.what() + " " +
+                  describe(s));
+      }
+    }
+    for (std::uint32_t b = 0; b < nsb; ++b) {
+      load_table(s);
+      if (table_.shadow_dirty(b)) continue;  // re-dirty: same state
+      ++report_.transitions;
+      try {
+        State t;
+        t.mem = s.mem;
+        t.plan = s.plan;
+        t.progress = 0;
+        table_.shadow_mark_dirty(b);
+        if (table_.shadow_filled(b))
+          t.mem[ms_index(st.dst) + b] = kStale;
+        t.table = save_table();
+        canonicalize(t);
+        push(t);
+      } catch (const fault::SimError& e) {
+        violation(std::string("demand-write transition threw: ") + e.what() +
+                  " " + describe(s));
+      }
+    }
+  }
+
+  /// The transaction dies at this boundary. One AbortShadow mutation is
+  /// the whole rollback: the table returns to its pre-begin state, the
+  /// partially-filled hole becomes dead bytes (canonicalized away), and
+  /// — unlike N-1 — nothing is ever lost, so there is no degraded
+  /// terminal here.
+  void abort_nomad(const State& s) {
+    ++report_.aborts_injected;
+    ++report_.transitions;
+    try {
+      load_table(s);
+      State t;
+      t.mem = s.mem;
+      t.progress = 0;
+      MigrationEngine::apply_mutation(
+          table_, MigrationEngine::abort_shadow_mutation());
+      t.table = save_table();
+      canonicalize(t);
+      push(t);
+    } catch (const fault::SimError& e) {
+      violation(std::string("abort transition threw: ") + e.what() + " " +
+                describe(s));
+    }
   }
 
   /// Copy the next sub-block in the engine's fill order; on step

@@ -51,6 +51,15 @@
 // during migration is hardware-level and orthogonal to the routing
 // invariants checked here (see DESIGN.md §8).
 //
+// Design Nomad (DESIGN.md §10) explores the transactional choreography
+// instead of Fig 8: begin/copy/commit/abort driven through the same
+// apply_mutation() path, with a crash/abort and a demand *write* (which
+// dirties the written sub-block and stales its shadow copy) injected at
+// every copy and commit boundary. Invariant 2 is the transactional
+// reading of single-valid-home: reads are served consistently from
+// exactly one committed home — the old one until the commit point, the
+// hole after it, never a mix.
+//
 // The `sabotage` knob deliberately mis-applies the choreography so tests
 // can prove the checker actually detects violations (non-vacuity).
 #pragma once
@@ -77,6 +86,9 @@ enum class Sabotage : std::uint8_t {
   /// Mark a live-fill sub-block ready *before* its data lands — the F-bit
   /// bitmap serves stale bytes from the filling slot.
   MarkSubBlockEarly,
+  /// Nomad: commit a transaction while dirty sub-blocks remain — the new
+  /// home serves bytes that demand writes already superseded.
+  CommitDespiteDirty,
 };
 
 [[nodiscard]] constexpr const char* to_string(Sabotage s) noexcept {
@@ -85,6 +97,7 @@ enum class Sabotage : std::uint8_t {
     case Sabotage::ApplyMutationsEarly: return "apply-mutations-early";
     case Sabotage::DropClearPending: return "drop-clear-pending";
     case Sabotage::MarkSubBlockEarly: return "mark-sub-block-early";
+    case Sabotage::CommitDespiteDirty: return "commit-despite-dirty";
   }
   return "?";
 }
@@ -94,7 +107,10 @@ struct CheckerConfig {
   /// Model geometry. The default (4 slots, 8 macro pages, 4 sub-blocks)
   /// is the smallest geometry that exercises every Fig-8 case: OS/MS hot
   /// pages, OF/MF victims, the ghost page refilling its own slot, and a
-  /// non-trivial critical-first rotation.
+  /// non-trivial critical-first rotation. For design Nomad use 2 slots
+  /// (16 KiB / 8 KiB): the hole wanders over every machine page, so the
+  /// placement count is factorial in total_pages and 4 slots would blow
+  /// past max_states.
   Geometry geom{/*total_bytes=*/32 * KiB, /*on_package_bytes=*/16 * KiB,
                 /*page_bytes=*/4 * KiB, /*sub_block_bytes=*/1 * KiB};
   /// Explore the abort/crash transition at every copy boundary.

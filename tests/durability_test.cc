@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "fault/fault_injector.hh"
 #include "fault/sim_error.hh"
 #include "runner/journal.hh"
 #include "runner/result_sink.hh"
@@ -140,6 +141,71 @@ TEST(Checkpoint, KillAndResumeIsBitIdenticalToUninterruptedRun) {
   // Kill points: mid-warm-up, exactly at the reset boundary, and twice in
   // the measured phase (mid-swap activity at interval 500).
   for (const std::uint64_t kill_at : {1024ull, 4000ull, 5120ull, 7000ull}) {
+    SCOPED_TRACE(kill_at);
+    const RunResult resumed =
+        run_killed_and_resumed(spec, seed, kill_at, path);
+    expect_same_result(resumed, reference);
+  }
+}
+
+// Degraded mode is a checkpointable state: with every swap aborted by the
+// injector, the engine exhausts degrade_after_aborts and freezes the table
+// at its last valid (post-rollback) mapping. A run killed *after* that
+// point checkpoints the frozen table + degraded flags, and the resumed
+// run must replay the rest of the degraded execution bit-identically.
+TEST(Checkpoint, DegradedModeRunResumesBitIdentically) {
+  ExperimentSpec spec = sim_spec("durability/degraded");
+  const std::uint64_t seed = derive_seed(42, spec.key);
+  spec.config.fault.seed = seed;
+  spec.config.fault.add(fault::FaultSite::SwapAbort, 1.0);
+
+  const RunResult reference = ExperimentRunner::replay(spec, seed);
+  ASSERT_TRUE(reference.degraded)
+      << "every swap aborted but the engine never degraded";
+  ASSERT_GT(reference.swap_aborts, 0u);
+
+  // Prove the late kill points land in degraded mode: a partial run to
+  // the earliest one already has the table frozen.
+  {
+    MemSim sim(spec.config);
+    auto gen = spec.workload.make(seed);
+    sim.controller().set_instant_migration(true);
+    sim.run(*gen, 4000);  // warm-up boundary of sim_spec()
+    sim.controller().set_instant_migration(false);
+    sim.reset_stats();
+    sim.run(*gen, 2000);
+    sim.finish();
+    ASSERT_TRUE(sim.result().degraded)
+        << "kill points below would checkpoint a non-degraded sim";
+  }
+
+  const std::string path = temp_path("degraded.ckpt");
+  for (const std::uint64_t kill_at : {6000ull, 7000ull}) {
+    SCOPED_TRACE(kill_at);
+    const RunResult resumed =
+        run_killed_and_resumed(spec, seed, kill_at, path);
+    expect_same_result(resumed, reference);
+    EXPECT_TRUE(resumed.degraded);
+  }
+}
+
+// Nomad's shadow-copy transaction state (table shadow bitmaps, the
+// wandering hole, the engine's pass counter and re-copy offsets) rides
+// the same snapshot format: a run SIGKILLed mid-transaction restores and
+// finishes bit-identically to the uninterrupted run.
+TEST(Checkpoint, NomadMidTransactionKillResumesBitIdentically) {
+  ExperimentSpec spec = sim_spec("durability/nomad");
+  spec.config.controller.design = MigrationDesign::Nomad;
+  const std::uint64_t seed = derive_seed(42, spec.key);
+
+  const RunResult reference = ExperimentRunner::replay(spec, seed);
+  ASSERT_GT(reference.swaps, 0u)
+      << "no migrations: the kill points cannot land mid-transaction";
+
+  const std::string path = temp_path("nomad.ckpt");
+  // Kill points spread over the measured phase (migration interval 500,
+  // multi-thousand-cycle copies): several land inside a transaction.
+  for (const std::uint64_t kill_at : {4100ull, 4608ull, 5500ull, 7000ull}) {
     SCOPED_TRACE(kill_at);
     const RunResult resumed =
         run_killed_and_resumed(spec, seed, kill_at, path);

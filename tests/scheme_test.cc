@@ -122,8 +122,8 @@ RunResult zoo_replay(const MemSimConfig& cfg, std::uint64_t n,
 // --- registry ---------------------------------------------------------------
 
 TEST(SchemeRegistry, NamesAreCanonicalAndOrdered) {
-  const std::vector<std::string> expected{"N",     "N-1",      "Live",
-                                          "Alloy", "flat-HMA", "MemCache"};
+  const std::vector<std::string> expected{
+      "N", "N-1", "Live", "nomad", "Alloy", "flat-HMA", "MemCache"};
   EXPECT_EQ(schemes::scheme_names(), expected);
 }
 

@@ -11,10 +11,15 @@
 // Exit status: 0 if every design verified clean, 1 on any invariant
 // violation (or lost coverage), 2 on usage errors.
 //
-//   ./modelcheck                 # all three designs, default geometry
+// Design nomad defaults to a 2-slot model (unless --slots is given): its
+// hole wanders over every machine page, so the reachable placement count
+// is factorial in the page count and 4 slots would blow the state cap.
+//
+//   ./modelcheck                 # all four designs, default geometry
 //   ./modelcheck --design Live   # one design
 //   ./modelcheck --slots 8 --sub-blocks 8   # a bigger model
 //   ./modelcheck --sabotage drop-clear-pending --design N-1   # must FAIL
+//   ./modelcheck --sabotage commit-despite-dirty --design nomad  # must FAIL
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -33,10 +38,12 @@ using hmm::verify::Sabotage;
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--design N|N-1|Live|all] [--slots K] [--sub-blocks K]\n"
-      "          [--no-aborts] [--max-states K] [--sabotage MODE] [--quiet]\n"
+      "usage: %s [--design N|N-1|Live|nomad|all] [--slots K]\n"
+      "          [--sub-blocks K] [--no-aborts] [--max-states K]\n"
+      "          [--sabotage MODE] [--quiet]\n"
       "  MODE: none|apply-mutations-early|drop-clear-pending|"
-      "mark-sub-block-early\n",
+      "mark-sub-block-early|\n"
+      "        commit-despite-dirty\n",
       argv0);
   return 2;
 }
@@ -44,13 +51,15 @@ int usage(const char* argv0) {
 bool parse_design(const std::string& v, std::vector<MigrationDesign>& out) {
   if (v == "all") {
     out = {MigrationDesign::N, MigrationDesign::NMinus1,
-           MigrationDesign::LiveMigration};
+           MigrationDesign::LiveMigration, MigrationDesign::Nomad};
   } else if (v == "N") {
     out = {MigrationDesign::N};
   } else if (v == "N-1") {
     out = {MigrationDesign::NMinus1};
   } else if (v == "Live") {
     out = {MigrationDesign::LiveMigration};
+  } else if (v == "nomad") {
+    out = {MigrationDesign::Nomad};
   } else {
     return false;
   }
@@ -66,6 +75,8 @@ bool parse_sabotage(const std::string& v, Sabotage& out) {
     out = Sabotage::DropClearPending;
   } else if (v == "mark-sub-block-early") {
     out = Sabotage::MarkSubBlockEarly;
+  } else if (v == "commit-despite-dirty") {
+    out = Sabotage::CommitDespiteDirty;
   } else {
     return false;
   }
@@ -75,11 +86,12 @@ bool parse_sabotage(const std::string& v, Sabotage& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<MigrationDesign> designs = {MigrationDesign::N,
-                                          MigrationDesign::NMinus1,
-                                          MigrationDesign::LiveMigration};
+  std::vector<MigrationDesign> designs = {
+      MigrationDesign::N, MigrationDesign::NMinus1,
+      MigrationDesign::LiveMigration, MigrationDesign::Nomad};
   CheckerConfig base;
   std::uint64_t slots = 4;
+  bool slots_given = false;
   std::uint64_t sub_blocks = 4;
   bool quiet = false;
 
@@ -95,6 +107,7 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       slots = std::strtoull(v, nullptr, 10);
+      slots_given = true;
     } else if (a == "--sub-blocks") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -116,19 +129,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Geometry scaled from the slot / sub-block counts: twice as many macro
-  // pages as slots (so OS/MS/MF cases all exist), sub-block granularity
-  // from the fill-unit count. Counts must be powers of two (Geometry).
-  base.geom.sub_block_bytes = 1 * hmm::KiB;
-  base.geom.page_bytes = sub_blocks * hmm::KiB;
-  base.geom.on_package_bytes = slots * base.geom.page_bytes;
-  base.geom.total_bytes = 2 * base.geom.on_package_bytes;
-
   bool all_ok = true;
   std::uint64_t total_states = 0;
   for (const MigrationDesign d : designs) {
     CheckerConfig cfg = base;
     cfg.design = d;
+    // Geometry scaled from the slot / sub-block counts: twice as many
+    // macro pages as slots (so OS/MS/MF cases all exist), sub-block
+    // granularity from the fill-unit count. Counts must be powers of two
+    // (Geometry). Nomad defaults to 2 slots (see the header comment).
+    const std::uint64_t design_slots =
+        slots_given ? slots : (d == MigrationDesign::Nomad ? 2 : slots);
+    cfg.geom.sub_block_bytes = 1 * hmm::KiB;
+    cfg.geom.page_bytes = sub_blocks * hmm::KiB;
+    cfg.geom.on_package_bytes = design_slots * cfg.geom.page_bytes;
+    cfg.geom.total_bytes = 2 * cfg.geom.on_package_bytes;
     CheckerReport r;
     try {
       r = hmm::verify::check_choreography(cfg);
