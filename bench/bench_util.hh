@@ -246,7 +246,7 @@ inline void report_artifact(const std::string& path) {
         std::cerr << "unknown fault site '" << name
                   << "' (see --help in README: chunk-drop, chunk-delay, "
                      "swap-abort, channel-stall, table-bit-flip, "
-                     "hotness-corrupt)\n";
+                     "hotness-corrupt, media-transient, media-stuck-at)\n";
         std::exit(2);
       }
       sites.push_back(s);

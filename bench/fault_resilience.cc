@@ -160,9 +160,15 @@ int main(int argc, char** argv) {
         row.push_back(
             TextTable::num(static_cast<double>(r.chunk_retries), 0));
         row.push_back(TextTable::num(static_cast<double>(r.swap_aborts), 0));
-        row.push_back(r.degraded
-                          ? "@" + std::to_string(r.degraded_at) + "cy"
-                          : "no");
+        // Built with append, not operator+: GCC 12's -Wrestrict throws a
+        // false positive on `const char* + std::string&&` here.
+        std::string deg = "no";
+        if (r.degraded) {
+          deg = "@";
+          deg += std::to_string(r.degraded_at);
+          deg += "cy";
+        }
+        row.push_back(std::move(deg));
       } else {
         row.insert(row.end(), {"-", "-", "-", "-", "-", "-"});
       }

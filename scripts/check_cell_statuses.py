@@ -11,12 +11,45 @@ supervisor timeouts, and unstructured errors ("crashed" / "timeout" /
 prefix) mean a fault escaped the recovery choreography, and fail this
 check.
 
+Cells carrying a RAS metrics block (the ras_availability sweep, or any
+fault sweep with the RAS layer enabled) are additionally gated on the
+retirement bookkeeping: healthy_frames must stay positive (a
+capacity-floor breach is a structured "[capacity-exhausted]" failure,
+never an ok cell with zero capacity), the retirement log must not
+exceed the retired-frame count, and spares consumed must not exceed
+frames retired.
+
 Usage: check_cell_statuses.py BENCH_*.json [more.json ...]
 Exit: 0 when every cell of every artifact is sanctioned, 1 otherwise.
 """
 
 import json
 import sys
+
+
+def check_ras_block(path: str, key: str, cell: dict) -> int:
+    ras = cell.get("metrics", {}).get("ras")
+    if ras is None:
+        return 0
+    bad = 0
+    if ras.get("healthy_frames", 0) <= 0:
+        print(f"{path}: cell {key}: ok cell with no healthy frames "
+              f"(healthy_frames={ras.get('healthy_frames')!r})",
+              file=sys.stderr)
+        bad += 1
+    retired = ras.get("frames_retired", 0)
+    if len(ras.get("retirements", [])) > retired:
+        print(f"{path}: cell {key}: retirement log longer than "
+              f"frames_retired={retired}", file=sys.stderr)
+        bad += 1
+    # +1: a run may end with one evacuation still in flight (spare
+    # consumed, retirement not yet closed out by ras_service).
+    if ras.get("spares_used", 0) > retired + 1:
+        print(f"{path}: cell {key}: spares_used="
+              f"{ras.get('spares_used')} exceeds frames_retired={retired}",
+              file=sys.stderr)
+        bad += 1
+    return bad
 
 
 def check_artifact(path: str) -> int:
@@ -27,11 +60,15 @@ def check_artifact(path: str) -> int:
         print(f"{path}: no cells in artifact", file=sys.stderr)
         return 1
     bad = 0
+    ras_cells = 0
     for cell in cells:
         key = cell.get("key", "<unkeyed>")
         status = cell.get("status", "<missing>")
         error = cell.get("error", "")
         if status == "ok":
+            if "ras" in cell.get("metrics", {}):
+                ras_cells += 1
+                bad += check_ras_block(path, key, cell)
             continue
         if status == "failed" and error.startswith("["):
             # A structured SimError: the run *detected* the fault and
@@ -41,8 +78,9 @@ def check_artifact(path: str) -> int:
               f"status={status!r} error={error!r}", file=sys.stderr)
         bad += 1
     schemes = {c.get("key", "").rsplit("/", 1)[-1] for c in cells}
-    print(f"{path}: {len(cells)} cells across {len(schemes)} schemes, "
-          f"{bad} unsanctioned")
+    ras_note = f", {ras_cells} with RAS metrics" if ras_cells else ""
+    print(f"{path}: {len(cells)} cells across {len(schemes)} schemes"
+          f"{ras_note}, {bad} unsanctioned")
     return 1 if bad else 0
 
 

@@ -9,9 +9,11 @@
 #
 # After ctest, runs the fault_resilience sweep across the *whole* scheme
 # registry (N, N-1, Live, nomad, Alloy, flat-HMA, MemCache) under
-# injected faults, then asserts via scripts/check_cell_statuses.py that
-# every cell ended "ok" or "failed" with a structured SimError — never
-# crashed, timed out, or wedged.
+# injected faults and the ras_availability sweep (media errors + ECC +
+# scrub + page retirement), then asserts via
+# scripts/check_cell_statuses.py that every cell ended "ok" or "failed"
+# with a structured SimError — never crashed, timed out, or wedged —
+# and that the RAS cells' retirement bookkeeping is sane.
 #
 # Usage: scripts/check_resilience.sh [build-dir]   (default: build-san)
 set -euo pipefail
@@ -22,11 +24,14 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . -DHMM_SANITIZE=ON >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" -L 'resilience|durability|bench_smoke' \
+ctest --test-dir "$BUILD_DIR" -L 'resilience|durability|bench_smoke|ras' \
       -j "$JOBS" --output-on-failure
 
 RESULTS_DIR="$BUILD_DIR/bench/results"
 HMM_BENCH_SCALE=0.05 HMM_RESULTS_DIR="$RESULTS_DIR" \
   "$BUILD_DIR/bench/fault_resilience" --smoke --jobs 2 --keep-going
+HMM_BENCH_SCALE=0.05 HMM_RESULTS_DIR="$RESULTS_DIR" \
+  "$BUILD_DIR/bench/ras_availability" --smoke --jobs 2 --keep-going
 python3 scripts/check_cell_statuses.py \
-  "$RESULTS_DIR/BENCH_fault_resilience.json"
+  "$RESULTS_DIR/BENCH_fault_resilience.json" \
+  "$RESULTS_DIR/BENCH_ras_availability.json"

@@ -61,6 +61,10 @@ HeteroMemoryController::Decision HeteroMemoryController::on_access(
     }
   }
 
+  // RAS retirement runs ahead of the migration trigger so the design-N
+  // blocking check below also stalls demand behind an evacuation copy.
+  if (ras_ != nullptr) ras_service(now);
+
   if (cfg_.migration_enabled) {
     if (++since_epoch_ >= cfg_.swap_interval) {
       since_epoch_ = 0;
@@ -76,6 +80,84 @@ HeteroMemoryController::Decision HeteroMemoryController::on_access(
     pending_os_stall_ = 0;
   }
   return d;
+}
+
+void HeteroMemoryController::retire_hole_frame(PageId frame, Cycle now) {
+  const PageId spare = ras_->peek_spare();
+  if (spare == kInvalidPage) {
+    // Pool dry: the hole cannot move off the failing frame, so it is
+    // pinned where it is. can_migrate() screens the quarantined hole, so
+    // nomad stops migrating — degraded but alive.
+    ras_->pin_frame(frame);
+    return;
+  }
+  table_.relocate_hole(spare);
+  ras_->consume_spare(spare);
+  ras_->complete_retirement(frame, now);
+}
+
+void HeteroMemoryController::ras_service(Cycle now) {
+  // 1. Close out the in-flight evacuation once the engine drains.
+  if (evac_frame_ != kInvalidPage && engine_.idle()) {
+    const PageId f = evac_frame_;
+    evac_frame_ = kInvalidPage;
+    if (engine_.resident_of(f) == kInvalidPage) {
+      if (table_.mode() == TableMode::Shadow && table_.hole() == f)
+        retire_hole_frame(f, now);  // the evacuee's home became the hole
+      else
+        ras_->complete_retirement(f, now);
+    }
+    // else: the evacuation aborted; the frame is still pending and step 3
+    // retries (bounded — repeated aborts degrade the engine, and
+    // can_evacuate() then fails, which pins the frame).
+  }
+
+  // 2. Preempt and retarget. An ordinary hotness swap in flight blocks
+  // the engine — and under a busy workload swaps run back to back, so
+  // waiting for a natural idle window could starve the retirement
+  // forever. Reliability preempts performance: abort the swap. An
+  // in-flight *evacuation* is only aborted when a newly failing frame is
+  // part of its plan — a swap must never commit into a failing frame.
+  if (!engine_.idle() && ras_->has_pending()) {
+    if (evac_frame_ == kInvalidPage) {
+      engine_.abort_current(now);
+    } else {
+      for (const PageId f : ras_->pending_frames()) {
+        if (f != evac_frame_ && engine_.plan_touches(f)) {
+          engine_.abort_current(now);
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Launch the next retirement.
+  if (!engine_.idle() || !ras_->has_pending()) return;
+  const PageId f = ras_->next_pending();
+  if (engine_.resident_of(f) == kInvalidPage) {
+    // Data-free already (a hole, an empty N-1 slot, a stale frame).
+    if (table_.mode() == TableMode::Shadow && table_.hole() == f)
+      retire_hole_frame(f, now);
+    else
+      ras_->complete_retirement(f, now);
+    return;
+  }
+  if (engine_.can_evacuate(f)) {
+    PageId spare = kInvalidPage;
+    if (cfg_.design == MigrationDesign::N) {
+      spare = ras_->peek_spare();
+      if (spare == kInvalidPage) {
+        ras_->pin_frame(f);  // design N evacuates only onto a spare
+        return;
+      }
+    }
+    if (engine_.start_evacuation(f, spare, now)) {
+      if (spare != kInvalidPage) ras_->consume_spare(spare);
+      evac_frame_ = f;
+      return;
+    }
+  }
+  ras_->pin_frame(f);
 }
 
 void HeteroMemoryController::consider_swap(Cycle now) {
@@ -218,6 +300,7 @@ void HeteroMemoryController::save(snap::Writer& w) const {
   w.u64(stats_.os_stall_cycles);
   w.u64(since_epoch_);
   w.u64(pending_os_stall_);
+  if (ras_ != nullptr) w.u64(evac_frame_);
   w.end_section();
 }
 
@@ -237,6 +320,7 @@ void HeteroMemoryController::restore(snap::Reader& r) {
   stats_.os_stall_cycles = r.u64();
   since_epoch_ = r.u64();
   pending_os_stall_ = r.u64();
+  evac_frame_ = ras_ != nullptr ? r.u64() : kInvalidPage;
   r.end_section();
 }
 

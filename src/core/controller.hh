@@ -24,6 +24,7 @@
 #include "common/types.hh"
 #include "core/hotness.hh"
 #include "core/migration.hh"
+#include "core/ras_view.hh"
 #include "core/translation_table.hh"
 #include "dram/dram_system.hh"
 
@@ -97,6 +98,15 @@ class HeteroMemoryController {
     engine_.set_fault_injector(inj);
   }
 
+  /// Attach the RAS retirement service (nullptr detaches). Not owned.
+  /// The controller becomes the evacuation driver: each access it first
+  /// retires/evacuates/pins pending failing frames through the migration
+  /// engine, and the table starts enforcing retired-frame invariants.
+  void set_ras(RasService* ras) noexcept {
+    ras_ = ras;
+    table_.set_ras_view(ras);
+  }
+
   /// Cross-layer invariant audit (hotness trackers; the table has its own
   /// validate()); returns an error description or empty string.
   [[nodiscard]] std::string audit() const;
@@ -114,6 +124,14 @@ class HeteroMemoryController {
 
  private:
   void consider_swap(Cycle now);
+  /// RAS retirement driver, run on every access: finish the in-flight
+  /// evacuation, abort a swap that touches a newly failing frame, and
+  /// start the next evacuation (or retire data-free frames / pin frames
+  /// the design cannot evacuate).
+  void ras_service(Cycle now);
+  /// Retire a failing frame that is (or became) the nomad hole: the hole
+  /// must first be relocated onto a spare; a dry pool pins instead.
+  void retire_hole_frame(PageId frame, Cycle now);
   /// Nomad: hole-directed trigger — promote the hottest off-package page
   /// into an on-package hole, or demote the coldest resident when the
   /// hole is off-package (DESIGN.md §10).
@@ -129,6 +147,11 @@ class HeteroMemoryController {
   std::uint64_t since_epoch_ = 0;
   Cycle pending_os_stall_ = 0;
   fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
+  // no-snapshot(not owned; re-attached by the owner after restore)
+  RasService* ras_ = nullptr;
+  /// Frame whose evacuation the engine is currently running; serialized
+  /// at the end of 'HMCT' only when RAS is attached.
+  PageId evac_frame_ = kInvalidPage;
 };
 
 }  // namespace hmm

@@ -25,6 +25,9 @@ TableMutation note_data(PageId page, PageId machine) {
 TableMutation set_occupant(SlotId row, PageId page) {
   return {TableMutation::Kind::SetOccupant, row, page, kInvalidPage};
 }
+TableMutation ras_park(SlotId row) {
+  return {TableMutation::Kind::RasPark, row, kInvalidPage, kInvalidPage};
+}
 }  // namespace
 
 MigrationEngine::MigrationEngine(TranslationTable& table,
@@ -70,6 +73,23 @@ bool MigrationEngine::can_swap(PageId hot, SlotId cold_slot) const noexcept {
     // Exclude c == e': the victim may not be the page occupying the hot
     // page's own slot (phase 1 is about to relocate that occupant).
     if (hot < g.slots() && table_.occupant(static_cast<SlotId>(hot)) == cold)
+      return false;
+  }
+  // RAS screening: the plan must never write into a failing or retired
+  // frame, and a parked row (its left page permanently at Ω after an N-1
+  // retirement) is outside the choreography for good.
+  const RasFrameView* rv = table_.ras_view();
+  if (rv != nullptr) {
+    // Slot frames are machine frames 0..N-1, so slot id == frame id.
+    if (rv->quarantined(cold_slot)) return false;
+    if (cold >= g.slots() && rv->quarantined(cold)) return false;
+    if (rv->quarantined(g.page_of(table_.location_of(hot)))) return false;
+    if (hot < g.slots() &&
+        (rv->quarantined(hot) || table_.ras_parked(static_cast<SlotId>(hot))))
+      return false;
+    if (table_.mode() == TableMode::HardwareNMinus1 &&
+        table_.empty_slot().has_value() &&
+        rv->quarantined(*table_.empty_slot()))
       return false;
   }
   return true;
@@ -207,6 +227,13 @@ bool MigrationEngine::can_migrate(PageId page) const noexcept {
   if (!idle() || degraded_ || wedged_) return false;
   const Geometry& g = table_.geometry();
   if (page >= g.total_pages() || page == g.omega()) return false;
+  // RAS screening: never stream into a failing hole (the controller
+  // relocates it to a spare first) and never migrate a spare's reserved
+  // identity page.
+  const RasFrameView* rv = table_.ras_view();
+  if (rv != nullptr &&
+      (rv->quarantined(table_.hole()) || rv->reserved_spare(page)))
+    return false;
   // Only cross-boundary moves change the placement: promotion into an
   // on-package hole or demotion out of the on-package region.
   const MachAddr src = table_.location_of(page);
@@ -260,6 +287,132 @@ bool MigrationEngine::start_swap(PageId hot, std::uint32_t hot_sub_block,
     return true;
   }
   begin_step(now);
+  return true;
+}
+
+PageId MigrationEngine::resident_of(PageId frame) const noexcept {
+  return table_.page_at(frame);
+}
+
+bool MigrationEngine::can_evacuate(PageId frame) const noexcept {
+  if (!idle() || degraded_ || wedged_) return false;
+  const Geometry& g = table_.geometry();
+  if (frame >= g.total_pages() || frame == g.omega()) return false;
+  const PageId v = resident_of(frame);
+  if (v == kInvalidPage) return false;  // data-free: retire directly
+  const RasFrameView* rv = table_.ras_view();
+  switch (cfg_.design) {
+    case MigrationDesign::N:
+      return true;  // the placement map can express any relocation
+    case MigrationDesign::NMinus1:
+    case MigrationDesign::LiveMigration: {
+      // Only two placements are expressible: an Original Slow page at its
+      // failing home, or a Migrated Fast page in a failing slot. Both
+      // move into the empty slot, whose row is then parked forever.
+      const auto e = table_.empty_slot();
+      if (!e.has_value()) return false;
+      if (rv != nullptr && rv->quarantined(*e)) return false;
+      if (frame >= g.slots()) return v == frame;
+      const auto s = static_cast<SlotId>(frame);
+      return v >= g.slots() && table_.occupant(s) == v &&
+             !table_.pending(s);
+    }
+    case MigrationDesign::Nomad:
+      return !table_.shadow_active() && v != g.omega() &&
+             !(rv != nullptr && rv->quarantined(table_.hole()));
+  }
+  return false;
+}
+
+bool MigrationEngine::start_evacuation(PageId frame, PageId spare,
+                                       Cycle now) {
+  if (!can_evacuate(frame)) return false;
+  const Geometry& g = table_.geometry();
+  const PageId v = resident_of(frame);
+
+  if (cfg_.design == MigrationDesign::Nomad) {
+    // A perfectly ordinary shadow transaction — the occupant streams into
+    // the hole while the failing frame keeps serving — except the
+    // cross-package-boundary profitability rule is waived: this move is
+    // for survival, not speed. The caller relocates the post-commit hole
+    // (the failing frame) to a spare.
+    steps_ = plan_txn(v);
+    apply(begin_shadow_mutation(v, table_.hole()));
+    ++stats_.swaps_started;
+    swap_began_ = now;
+    pass_ = 0;
+  } else if (cfg_.design == MigrationDesign::N) {
+    HMM_CHECK(spare != kInvalidPage && resident_of(spare) == kInvalidPage,
+              "design-N evacuation needs a data-free spare frame");
+    CopyStep st;
+    st.src = g.machine_base(frame);
+    st.dst = g.machine_base(spare);
+    st.bytes = g.page_bytes;
+    st.after = {note_data(v, spare)};
+    if (frame < g.slots())
+      st.after.push_back(
+          set_occupant(static_cast<SlotId>(frame), kInvalidPage));
+    steps_ = {st};
+    ++stats_.swaps_started;
+    swap_began_ = now;
+  } else {
+    // N-1 / Live: one copy into the empty slot; the landing row keeps its
+    // P bit forever (parked), encoding that its left page — the ghost at
+    // this instant — stays at Ω. This consumes the choreography's only
+    // free landing zone, so the engine degrades once the copy completes
+    // (see finish_step) and a second retirement is inexpressible.
+    const SlotId e = *table_.empty_slot();
+    CopyStep st;
+    st.src = g.machine_base(frame);
+    st.dst = g.machine_base(e);
+    st.bytes = g.page_bytes;
+    st.after = {set_row(e, v), set_pending(e), note_data(v, e),
+                ras_park(e)};
+    steps_ = {st};
+    ++stats_.swaps_started;
+    swap_began_ = now;
+  }
+
+  if (instant_) {
+    for (const CopyStep& st : steps_)
+      for (const TableMutation& m : st.after) apply(m);
+    steps_.clear();
+    ++stats_.swaps_completed;
+    if ((cfg_.design == MigrationDesign::NMinus1 ||
+         cfg_.design == MigrationDesign::LiveMigration) &&
+        !table_.empty_slot().has_value())
+      enter_degraded(now);
+    return true;
+  }
+  begin_step(now);
+  return true;
+}
+
+bool MigrationEngine::plan_touches(PageId frame) const noexcept {
+  const Geometry& g = table_.geometry();
+  for (const CopyStep& st : steps_) {
+    if (g.page_of(st.src) == frame || g.page_of(st.dst) == frame)
+      return true;
+  }
+  return false;
+}
+
+bool MigrationEngine::abort_current(Cycle now) {
+  if (idle() || wedged_) return false;
+  if (cfg_.design == MigrationDesign::N) {
+    // Design N applies every table mutation in its final step, so
+    // dropping an unfinished plan is a clean rollback — no wedge needed
+    // for this *deliberate* abort (only injected mid-copy faults model
+    // the design's unrecoverable hardware states).
+    if (table_.fill_active()) table_.end_fill();
+    steps_.clear();
+    inflight_.clear();
+    retry_count_.clear();
+    ++stats_.swaps_aborted;
+    stats_.busy_cycles += now - swap_began_;
+    return true;
+  }
+  abort_swap(now);
   return true;
 }
 
@@ -552,6 +705,10 @@ void MigrationEngine::apply_mutation(TranslationTable& table,
       break;
     case TableMutation::Kind::CommitShadow: table.commit_shadow(); break;
     case TableMutation::Kind::AbortShadow: table.abort_shadow(); break;
+    case TableMutation::Kind::RasPark:
+      table.set_pending(m.row, true);
+      table.set_ras_parked(m.row);
+      break;
   }
 }
 
@@ -576,6 +733,13 @@ void MigrationEngine::finish_step(Cycle at) {
   ++stats_.swaps_completed;
   stats_.busy_cycles += at - swap_began_;
   consecutive_aborts_ = 0;
+  // An N-1 retirement parked the empty slot for good: without a free
+  // landing zone the choreography cannot start again, so the engine
+  // degrades (placement frozen, demand still served).
+  if ((cfg_.design == MigrationDesign::NMinus1 ||
+       cfg_.design == MigrationDesign::LiveMigration) &&
+      !table_.empty_slot().has_value())
+    enter_degraded(at);
 }
 
 namespace {

@@ -65,6 +65,7 @@ struct TableMutation {
     BeginShadow,   ///< open a transaction: `page` -> hole (`machine`)
     CommitShadow,  ///< atomically re-point the page at the hole
     AbortShadow,   ///< discard the transaction (pre-begin table state)
+    RasPark,       ///< N-1 retirement: row = `row` pends forever (RAS)
   };
   Kind kind;
   SlotId row = 0;
@@ -181,6 +182,34 @@ class MigrationEngine {
   [[nodiscard]] static TableMutation abort_shadow_mutation() noexcept {
     return {TableMutation::Kind::AbortShadow, 0, kInvalidPage, kInvalidPage};
   }
+
+  // --- RAS page retirement (see DESIGN.md §11) -----------------------------
+  /// Page whose data currently lives at machine frame `frame`
+  /// (kInvalidPage when the frame is data-free). Served from the
+  /// placement map, which every design maintains.
+  [[nodiscard]] PageId resident_of(PageId frame) const noexcept;
+  /// True if the occupant of `frame` can be moved off through this
+  /// design's own machinery right now. False for data-free frames (retire
+  /// them directly) and for placements the N-1 pairwise encoding cannot
+  /// express (the caller pins those instead).
+  [[nodiscard]] bool can_evacuate(PageId frame) const noexcept;
+  /// Move the occupant of `frame` off it: design N bulk-copies it to
+  /// `spare`; N-1/Live copy it into the empty slot and park that row's P
+  /// bit forever (consuming the empty slot — the encoding's only free
+  /// landing zone — so at most one N-1 retirement is absorbed); nomad
+  /// runs a normal shadow transaction into the hole (`spare` unused, the
+  /// caller relocates the hole afterwards). Returns false when
+  /// can_evacuate() says no.
+  bool start_evacuation(PageId frame, PageId spare, Cycle now);
+  /// True if any remaining copy step of the in-flight swap reads or
+  /// writes machine frame `frame`.
+  [[nodiscard]] bool plan_touches(PageId frame) const noexcept;
+  /// RAS-initiated abort of the in-flight swap (a frame it touches was
+  /// flagged as failing): rolls back to the last valid step boundary.
+  /// Deliberate, so it never wedges design N (the rollback is trivially
+  /// valid — N applies all its mutations in the final step). Returns
+  /// false when idle or wedged.
+  bool abort_current(Cycle now);
 
   /// Feed every Background completion from either region back here.
   void on_completion(const DramCompletion& c, Region from);

@@ -194,7 +194,34 @@ PageId TranslationTable::page_at(PageId machine_page) const noexcept {
   if (location_.count(machine_page) != 0) return kInvalidPage;
   if (machine_page == hole_ || machine_page == geom_.omega())
     return kInvalidPage;
+  // Reserved spares and retired frames are data-free by construction.
+  if (ras_view_ != nullptr && (ras_view_->reserved_spare(machine_page) ||
+                               ras_view_->retired(machine_page)))
+    return kInvalidPage;
   return machine_page;
+}
+
+void TranslationTable::set_ras_parked(SlotId row) {
+  HMM_CHECK(mode_ == TableMode::HardwareNMinus1,
+            "parked rows exist only in the N-1 hardware encoding");
+  HMM_CHECK(row < slots_, "parked row out of range");
+  if (!ras_parked(row)) ras_parked_.push_back(row);
+}
+
+bool TranslationTable::ras_parked(SlotId row) const noexcept {
+  for (const SlotId s : ras_parked_)
+    if (s == row) return true;
+  return false;
+}
+
+void TranslationTable::relocate_hole(PageId spare) {
+  HMM_CHECK(mode_ == TableMode::Shadow,
+            "relocate_hole outside Shadow mode");
+  HMM_CHECK(!shadow_active_,
+            "relocate_hole while a transaction is active");
+  HMM_CHECK(page_at(spare) == kInvalidPage,
+            "relocate_hole target still holds live data");
+  hole_ = spare;
 }
 
 void TranslationTable::begin_shadow(PageId page, PageId dst_machine) {
@@ -287,6 +314,8 @@ std::string TranslationTable::validate() const {
     for (const auto& [p, m] : location_) {
       if (!inverse.emplace(m, p).second)
         return "two pages mapped to the same machine page";
+      if (ras_view_ != nullptr && ras_view_->retired(m))
+        return "page mapped to a retired machine page";
     }
     return {};
   }
@@ -311,13 +340,20 @@ std::string TranslationTable::validate() const {
       if (m == hole_) return "page mapped at the hole";
       if (!inverse.emplace(m, p).second)
         return "two pages mapped to the same machine page";
+      if (ras_view_ != nullptr && ras_view_->retired(m))
+        return "page mapped to a retired machine page";
       // If m is an OS page other than p itself, its identity resident must
-      // have moved away or two pages would share the machine page.
-      if (m != p && m != geom_.omega() && location_.count(m) == 0)
+      // have moved away (or never existed: spare-pool identity pages are
+      // reserved at boot) or two pages would share the machine page.
+      if (m != p && m != geom_.omega() && location_.count(m) == 0 &&
+          !(ras_view_ != nullptr && ras_view_->reserved_spare(m)))
         return "page mapped over a still-resident identity page";
     }
     if (hole_ >= geom_.total_pages()) return "hole out of range";
-    if (hole_ != geom_.omega() && location_.count(hole_) == 0)
+    if (ras_view_ != nullptr && ras_view_->retired(hole_))
+      return "hole is a retired frame";
+    if (hole_ != geom_.omega() && location_.count(hole_) == 0 &&
+        !(ras_view_ != nullptr && ras_view_->reserved_spare(hole_)))
       return "hole overlaps a resident identity page";
     if (shadow_active_) {
       if (shadow_page_ >= geom_.total_pages() ||
@@ -366,7 +402,16 @@ std::string TranslationTable::validate() const {
     }
   }
   if (empties > 1) return "more than one empty slot";
-  if (pendings > 1) return "more than one pending row";
+  // A parked row's P bit is permanent (its left page — the ghost at the
+  // moment of a RAS evacuation — keeps its data at Ω forever); only one
+  // additional pending row may be in a transient swap window.
+  for (const SlotId s : ras_parked_) {
+    if (s >= slots_) return "parked row out of range";
+    if (!rows_[s].pending) return "parked row lost its P bit";
+    if (rows_[s].occupant == kInvalidPage) return "parked row marked empty";
+  }
+  if (pendings > 1 + static_cast<unsigned>(ras_parked_.size()))
+    return "more than one pending row";
   if (empty_cache_.has_value() &&
       rows_[*empty_cache_].occupant != kInvalidPage)
     return "empty-slot cache points at an occupied row";
@@ -448,6 +493,13 @@ void TranslationTable::save(snap::Writer& w) const {
     w.u64(shadow_dirty_.size());
     for (const bool bit : shadow_dirty_) w.b(bit);
   }
+  if (ras_view_ != nullptr) {
+    // Appended only when the RAS layer is attached, so pre-RAS byte
+    // layouts (and golden CRCs) are unchanged. The restoring side wires
+    // the same view before restore(), so the gate agrees.
+    w.u64(ras_parked_.size());
+    for (const SlotId s : ras_parked_) w.u64(s);
+  }
   w.end_section();
 }
 
@@ -499,6 +551,11 @@ void TranslationTable::restore(snap::Reader& r) {
     shadow_dst_ = kInvalidPage;
     shadow_filled_.clear();
     shadow_dirty_.clear();
+  }
+  ras_parked_.clear();
+  if (ras_view_ != nullptr) {
+    ras_parked_.assign(r.u64(), SlotId{0});
+    for (SlotId& s : ras_parked_) s = static_cast<SlotId>(r.u64());
   }
   r.end_section();
 }

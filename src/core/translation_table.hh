@@ -46,6 +46,7 @@
 #include "common/snapshot.hh"
 #include "common/types.hh"
 #include "core/geometry.hh"
+#include "core/ras_view.hh"
 
 namespace hmm {
 
@@ -153,6 +154,29 @@ class TranslationTable {
   /// Discard the transaction; the table returns to its pre-begin state.
   void abort_shadow();
 
+  // --- RAS (page retirement) integration -----------------------------------
+  /// Attach the RAS layer's frame view. Must happen before restore() when
+  /// a checkpoint was taken with RAS enabled (the RAS fields of the table
+  /// snapshot are gated on the view being attached, so pre-RAS byte
+  /// layouts — and golden CRCs — are unchanged).
+  void set_ras_view(const RasFrameView* view) noexcept { ras_view_ = view; }
+  [[nodiscard]] const RasFrameView* ras_view() const noexcept {
+    return ras_view_;
+  }
+
+  /// HardwareNMinus1 evacuation leaves one row permanently "parked": its
+  /// P bit stays set forever, encoding that the row's left page (the
+  /// ghost) keeps its data at Ω. validate() exempts parked rows from the
+  /// one-transient-pending rule, and the engine never swaps them.
+  void set_ras_parked(SlotId row);
+  [[nodiscard]] bool ras_parked(SlotId row) const noexcept;
+
+  /// Shadow mode: swap a retired hole for a spare frame so the hole chain
+  /// continues. After a retirement evacuation commits, the failing old
+  /// home becomes the hole; this re-points the hole at a data-free spare
+  /// before the next transaction can stream into the failing frame.
+  void relocate_hole(PageId spare);
+
   /// Cross-checks the hardware encoding against the placement map and the
   /// structural invariants; returns an error description or empty string.
   [[nodiscard]] std::string validate() const;
@@ -197,6 +221,12 @@ class TranslationTable {
   PageId fill_page_ = kInvalidPage;
   MachAddr fill_old_base_ = 0;
   std::vector<bool> fill_bitmap_;
+
+  // no-snapshot(non-owned view wired by the controller each run)
+  const RasFrameView* ras_view_ = nullptr;
+  // Rows parked by RAS evacuation (serialized only when a RAS view is
+  // attached, so pre-RAS byte layouts never change).
+  std::vector<SlotId> ras_parked_;
 
   // Shadow-mode transactional state (serialized only when mode_ ==
   // Shadow, so the byte layouts of the other modes never change).

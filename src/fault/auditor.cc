@@ -54,6 +54,11 @@ void InvariantAuditor::audit() {
   else if (controller_ != nullptr)
     err = controller_->audit();
   if (!err.empty()) throw SimError(SimErrorKind::AuditFailed, err);
+
+  if (extra_check_) {
+    const std::string extra = extra_check_();
+    if (!extra.empty()) throw SimError(SimErrorKind::AuditFailed, extra);
+  }
 }
 
 }  // namespace hmm::fault

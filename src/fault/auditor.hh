@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/snapshot.hh"
@@ -63,6 +64,12 @@ class InvariantAuditor {
   /// Full sweep; throws SimError(AuditFailed) on any violation.
   void audit();
 
+  /// Optional extra invariant run on every audit (e.g. MemSim's RAS
+  /// retired-route sweep). Returns an error description or empty string.
+  void set_extra_check(std::function<std::string()> check) {
+    extra_check_ = std::move(check);
+  }
+
   [[nodiscard]] std::uint64_t audits() const noexcept { return audits_; }
 
   void save(snap::Writer& w) const {
@@ -86,6 +93,8 @@ class InvariantAuditor {
   const TranslationTable* table_;  ///< not owned; may be null
   const HeteroMemoryController* controller_;  ///< not owned; may be null
   const Auditable* subject_;  ///< not owned; may be null
+  // no-snapshot(re-attached by the owner after restore)
+  std::function<std::string()> extra_check_;
   std::uint64_t interval_;  // no-snapshot(construction-time config)
   std::uint64_t since_audit_ = 0;
   std::uint64_t audits_ = 0;

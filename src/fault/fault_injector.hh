@@ -16,6 +16,8 @@
 //   ChannelStall         dram:   transient stall delays a request's arrival
 //   TableBitFlip         memsim: a P/occupant bit of the table flips
 //   HotnessCorrupt       controller: an access is recorded for a wrong page
+//   MediaTransient       ras: a transient bit flip in a machine frame
+//   MediaStuckAt         ras: a permanent stuck-at cell in a machine frame
 #pragma once
 
 #include <array>
@@ -36,8 +38,10 @@ enum class FaultSite : std::uint8_t {
   ChannelStall,
   TableBitFlip,
   HotnessCorrupt,
+  MediaTransient,
+  MediaStuckAt,
 };
-inline constexpr unsigned kFaultSiteCount = 6;
+inline constexpr unsigned kFaultSiteCount = 8;
 
 [[nodiscard]] constexpr const char* to_string(FaultSite s) noexcept {
   switch (s) {
@@ -47,6 +51,8 @@ inline constexpr unsigned kFaultSiteCount = 6;
     case FaultSite::ChannelStall: return "channel-stall";
     case FaultSite::TableBitFlip: return "table-bit-flip";
     case FaultSite::HotnessCorrupt: return "hotness-corrupt";
+    case FaultSite::MediaTransient: return "media-transient";
+    case FaultSite::MediaStuckAt: return "media-stuck-at";
   }
   return "?";
 }
@@ -130,7 +136,11 @@ class FaultInjector {
     if (!hit) return false;
     ++st.fires;
     ++total_fires_;
-    if (events_.size() < kMaxEvents) events_.push_back({site, op, detail});
+    if (events_.size() < kMaxEvents) {
+      events_.push_back({site, op, detail});
+    } else {
+      ++events_dropped_;  // bounded log overflowed; keep an honest count
+    }
     return true;
   }
 
@@ -151,6 +161,11 @@ class FaultInjector {
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
   }
+  /// Fired faults that could not be logged because the bounded event log
+  /// was full. Nonzero means events() is a truncated record.
+  [[nodiscard]] std::uint64_t events_dropped() const noexcept {
+    return events_dropped_;
+  }
 
   /// Checkpoint/restore of the dynamic state (opportunity counters, fire
   /// counts, site RNG streams, event log). The plan itself is not
@@ -169,6 +184,7 @@ class FaultInjector {
     w.u64(p.state);
     w.u64(p.inc);
     w.u64(total_fires_);
+    w.u64(events_dropped_);
     w.u64(events_.size());
     for (const FaultEvent& e : events_) {
       w.u8(static_cast<std::uint8_t>(e.site));
@@ -194,6 +210,7 @@ class FaultInjector {
     p.inc = r.u64();
     payload_rng_.set_raw(p);
     total_fires_ = r.u64();
+    events_dropped_ = r.u64();
     events_.assign(r.u64(), FaultEvent{});
     for (FaultEvent& e : events_) {
       e.site = static_cast<FaultSite>(r.u8());
@@ -221,6 +238,7 @@ class FaultInjector {
   Pcg32 payload_rng_;
   bool enabled_ = false;  // no-snapshot(derived from plan_ in ctor)
   std::uint64_t total_fires_ = 0;
+  std::uint64_t events_dropped_ = 0;
   std::vector<FaultEvent> events_;
 };
 

@@ -21,6 +21,7 @@ enum class SimErrorKind : unsigned char {
   Watchdog,     ///< simulated time can no longer advance (wedged swap)
   Timeout,      ///< the cell exceeded its wall-clock budget
   Snapshot,     ///< a checkpoint failed to encode, decode, or verify
+  CapacityExhausted,  ///< page retirement ate past the capacity floor
 };
 
 [[nodiscard]] constexpr const char* to_string(SimErrorKind k) noexcept {
@@ -30,6 +31,7 @@ enum class SimErrorKind : unsigned char {
     case SimErrorKind::Watchdog: return "watchdog";
     case SimErrorKind::Timeout: return "timeout";
     case SimErrorKind::Snapshot: return "snapshot";
+    case SimErrorKind::CapacityExhausted: return "capacity-exhausted";
   }
   return "?";
 }

@@ -1,0 +1,353 @@
+#include "ras/ras.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "fault/sim_error.hh"
+
+namespace hmm::ras {
+
+RasEngine::RasEngine(const RasConfig& cfg, const Geometry& geom,
+                     fault::FaultInjector* injector)
+    : cfg_(cfg), geom_(geom), injector_(injector) {
+  const PageId total = geom_.total_pages();
+  HMM_CHECK(cfg_.spare_frames + 1 < total - geom_.slots(),
+            "RAS spare pool must fit below omega in the off-package region");
+  HMM_CHECK(cfg_.capacity_floor >= 0.0 && cfg_.capacity_floor <= 1.0,
+            "RAS capacity floor must be a fraction in [0, 1]");
+  floor_frames_ = static_cast<std::uint64_t>(
+      cfg_.capacity_floor * static_cast<double>(total));
+  // Spares sit just below the ghost page: omega-spare .. omega-1.
+  for (PageId f = geom_.omega() - cfg_.spare_frames; f < geom_.omega(); ++f) {
+    spare_set_.insert(f);
+    pool_.push_back(f);
+  }
+  next_scrub_at_ = cfg_.scrub_interval;
+}
+
+bool RasEngine::retired(PageId frame) const noexcept {
+  return retired_.count(frame) != 0;
+}
+
+bool RasEngine::quarantined(PageId frame) const noexcept {
+  return retired_.count(frame) != 0 || pending_.count(frame) != 0 ||
+         pinned_.count(frame) != 0;
+}
+
+bool RasEngine::reserved_spare(PageId frame) const noexcept {
+  return spare_set_.count(frame) != 0;
+}
+
+Cycle RasEngine::on_demand_access(PageId frame, Cycle now) {
+  scrub_to(now);
+  Cycle penalty = probe(frame, now, /*scrub=*/false);
+  const auto it = health_.find(frame);
+  if (it != health_.end() && it->second.last_scrub != 0 &&
+      it->second.last_scrub + cfg_.scrub_busy > now) {
+    // The patrol scrubber holds this frame busy; the demand access waits.
+    penalty += it->second.last_scrub + cfg_.scrub_busy - now;
+    ++metrics_.scrub_collisions;
+  }
+  return penalty;
+}
+
+bool RasEngine::has_pending() const noexcept { return !pending_.empty(); }
+
+PageId RasEngine::next_pending() const noexcept {
+  PageId best = kInvalidPage;
+  for (const PageId f : pending_)
+    if (best == kInvalidPage || f < best) best = f;
+  return best;
+}
+
+std::vector<PageId> RasEngine::pending_frames() const {
+  std::vector<PageId> out(pending_.begin(), pending_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RasEngine::complete_retirement(PageId frame, Cycle now) {
+  HMM_CHECK(pending_.erase(frame) == 1,
+            "complete_retirement on a frame that was not pending");
+  retired_.insert(frame);
+  ++metrics_.frames_retired;
+  log_retirement(frame, now);
+}
+
+void RasEngine::pin_frame(PageId frame) {
+  HMM_CHECK(pending_.erase(frame) == 1,
+            "pin_frame on a frame that was not pending");
+  pinned_.insert(frame);
+  ++metrics_.frames_pinned;
+}
+
+PageId RasEngine::peek_spare() const noexcept {
+  return pool_.empty() ? kInvalidPage : pool_.front();
+}
+
+void RasEngine::consume_spare(PageId frame) {
+  const auto it = std::find(pool_.begin(), pool_.end(), frame);
+  HMM_CHECK(it != pool_.end(), "consume_spare on a frame not in the pool");
+  pool_.erase(it);
+  ++metrics_.spares_used;
+}
+
+std::optional<PageId> RasEngine::remap_frame(PageId frame, Cycle now) {
+  HMM_CHECK(pending_.count(frame) != 0,
+            "remap_frame on a frame that was not pending");
+  const PageId spare = peek_spare();
+  if (spare == kInvalidPage) return std::nullopt;
+  consume_spare(spare);
+  remap_[frame] = spare;
+  ++metrics_.evacuations;
+  metrics_.evacuation_bytes += geom_.page_bytes;
+  complete_retirement(frame, now);
+  return spare;
+}
+
+std::optional<PageId> RasEngine::assign_spare_for(PageId frame, Cycle now) {
+  (void)now;
+  HMM_CHECK(retired_.count(frame) != 0 && remap_.count(frame) == 0,
+            "assign_spare_for needs a retired frame with no stand-in");
+  const PageId spare = peek_spare();
+  if (spare == kInvalidPage) return std::nullopt;
+  consume_spare(spare);
+  remap_[frame] = spare;
+  ++metrics_.evacuations;
+  metrics_.evacuation_bytes += geom_.page_bytes;
+  return spare;
+}
+
+PageId RasEngine::remap_of(PageId frame) const noexcept {
+  const auto it = remap_.find(frame);
+  return it == remap_.end() ? kInvalidPage : it->second;
+}
+
+PageId RasEngine::resolve(PageId frame) const noexcept {
+  PageId f = frame;
+  for (auto it = remap_.find(f); it != remap_.end(); it = remap_.find(f))
+    f = it->second;
+  return f;
+}
+
+std::vector<PageId> RasEngine::retired_frames() const {
+  std::vector<PageId> out(retired_.begin(), retired_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t RasEngine::healthy_frames() const noexcept {
+  const std::uint64_t lost =
+      retired_.size() + pinned_.size() + pending_.size();
+  return geom_.total_pages() - lost + metrics_.spares_used;
+}
+
+Cycle RasEngine::probe(PageId frame, Cycle now, bool scrub) {
+  if (retired_.count(frame) != 0) return 0;
+  if (injector_ == nullptr || !injector_->enabled()) {
+    if (scrub) health_[frame].last_scrub = now;
+    return 0;
+  }
+  Cycle penalty = 0;
+  FrameHealth& h = health_[frame];
+  if (injector_->fires(fault::FaultSite::MediaStuckAt, frame)) {
+    ++h.stuck;
+    ++metrics_.stuck_faults;
+  }
+  bool due = false;
+  bool corrected = false;
+  if (injector_->fires(fault::FaultSite::MediaTransient, frame)) {
+    ++h.transients;
+    if (payload_draw(h, frame) < cfg_.due_fraction)
+      due = true;  // double-bit: detected but uncorrectable
+    else
+      corrected = true;  // single-bit: ECC corrects in-line
+  }
+  // A stuck cell is a latent error: SEC corrects it on every probe, which
+  // is exactly how the patrol scrubber surfaces it before a demand read.
+  if (!due && !corrected && h.stuck > 0) corrected = true;
+  if (corrected) {
+    ++h.corrected;
+    penalty += cfg_.ce_penalty;
+    ++(scrub ? metrics_.scrub_corrected : metrics_.demand_corrected);
+  }
+  if (due) {
+    penalty += cfg_.due_penalty;
+    ++(scrub ? metrics_.scrub_uncorrectable : metrics_.demand_uncorrectable);
+    flag(frame, now);
+  }
+  if (h.stuck >= cfg_.stuck_retire_threshold ||
+      h.corrected >= cfg_.ce_retire_threshold)
+    flag(frame, now);
+  if (scrub) h.last_scrub = now;
+  return penalty;
+}
+
+void RasEngine::scrub_to(Cycle now) {
+  if (cfg_.scrub_interval == 0) return;
+  const PageId total = geom_.total_pages();
+  while (next_scrub_at_ <= now) {
+    const Cycle at = next_scrub_at_;
+    next_scrub_at_ += cfg_.scrub_interval;
+    PageId f = scrub_cursor_ % total;
+    for (PageId tries = 0; tries < total && retired_.count(f) != 0; ++tries)
+      f = (f + 1) % total;
+    scrub_cursor_ = (f + 1) % total;
+    if (retired_.count(f) != 0) continue;  // everything retired (degenerate)
+    ++metrics_.scrub_probes;
+    probe(f, at, /*scrub=*/true);
+  }
+}
+
+void RasEngine::flag(PageId frame, Cycle now) {
+  if (quarantined(frame)) return;
+  const auto it = std::find(pool_.begin(), pool_.end(), frame);
+  if (it != pool_.end()) {
+    // An unconsumed spare failed: it is data-free by construction, so it
+    // retires directly — it just never gets pressed into service.
+    pool_.erase(it);
+    retired_.insert(frame);
+    ++metrics_.frames_retired;
+    log_retirement(frame, now);
+    return;
+  }
+  pending_.insert(frame);
+  check_capacity();
+}
+
+void RasEngine::log_retirement(PageId frame, Cycle now) {
+  if (retire_log_.size() < kMaxRetirementLog)
+    retire_log_.push_back({now, frame});
+}
+
+void RasEngine::check_capacity() const {
+  const std::uint64_t healthy = healthy_frames();
+  if (healthy >= floor_frames_) return;
+  throw fault::SimError(
+      fault::SimErrorKind::CapacityExhausted,
+      "healthy capacity " + std::to_string(healthy) + "/" +
+          std::to_string(geom_.total_pages()) + " frames fell below the " +
+          std::to_string(floor_frames_) + "-frame retirement floor (" +
+          std::to_string(retired_.size()) + " retired, " +
+          std::to_string(pinned_.size()) + " pinned, " +
+          std::to_string(pending_.size()) + " pending)");
+}
+
+double RasEngine::payload_draw(FrameHealth& h, PageId frame) {
+  const std::uint64_t seed =
+      injector_ != nullptr ? injector_->plan().seed : 0;
+  // A fresh generator per draw keeps the outcome a pure function of
+  // (plan seed, frame, draw index) — independent of probe interleaving.
+  Pcg32 rng(seed ^ (frame * 0x9e3779b97f4a7c15ull), h.draws + 1);
+  ++h.draws;
+  return rng.uniform();
+}
+
+void RasEngine::save(snap::Writer& w) const {
+  w.begin_section(snap::tag('R', 'A', 'S', 'E'));
+  std::vector<PageId> keys;
+  keys.reserve(health_.size());
+  for (const auto& [f, h] : health_) keys.push_back(f);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const PageId f : keys) {
+    const FrameHealth& h = health_.at(f);
+    w.u64(f);
+    w.u64(h.transients);
+    w.u64(h.corrected);
+    w.u64(h.stuck);
+    w.u64(h.draws);
+    w.u64(h.last_scrub);
+  }
+  const auto write_set = [&w](const std::unordered_set<PageId>& s) {
+    std::vector<PageId> v(s.begin(), s.end());
+    std::sort(v.begin(), v.end());
+    w.u64(v.size());
+    for (const PageId f : v) w.u64(f);
+  };
+  write_set(pending_);
+  write_set(retired_);
+  write_set(pinned_);
+  w.u64(pool_.size());
+  for (const PageId f : pool_) w.u64(f);
+  std::vector<PageId> rk;
+  rk.reserve(remap_.size());
+  for (const auto& [f, s] : remap_) rk.push_back(f);
+  std::sort(rk.begin(), rk.end());
+  w.u64(rk.size());
+  for (const PageId f : rk) {
+    w.u64(f);
+    w.u64(remap_.at(f));
+  }
+  w.u64(scrub_cursor_);
+  w.u64(next_scrub_at_);
+  w.u64(retire_log_.size());
+  for (const RetirementEvent& e : retire_log_) {
+    w.u64(e.at);
+    w.u64(e.frame);
+  }
+  w.u64(metrics_.demand_corrected);
+  w.u64(metrics_.demand_uncorrectable);
+  w.u64(metrics_.scrub_probes);
+  w.u64(metrics_.scrub_corrected);
+  w.u64(metrics_.scrub_uncorrectable);
+  w.u64(metrics_.scrub_collisions);
+  w.u64(metrics_.stuck_faults);
+  w.u64(metrics_.frames_retired);
+  w.u64(metrics_.frames_pinned);
+  w.u64(metrics_.evacuations);
+  w.u64(metrics_.evacuation_bytes);
+  w.u64(metrics_.spares_used);
+  w.end_section();
+}
+
+void RasEngine::restore(snap::Reader& r) {
+  r.begin_section(snap::tag('R', 'A', 'S', 'E'));
+  health_.clear();
+  for (std::uint64_t n = r.u64(); n > 0; --n) {
+    const PageId f = r.u64();
+    FrameHealth h;
+    h.transients = r.u64();
+    h.corrected = r.u64();
+    h.stuck = r.u64();
+    h.draws = r.u64();
+    h.last_scrub = r.u64();
+    health_.emplace(f, h);
+  }
+  const auto read_set = [&r](std::unordered_set<PageId>& s) {
+    s.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) s.insert(r.u64());
+  };
+  read_set(pending_);
+  read_set(retired_);
+  read_set(pinned_);
+  pool_.assign(r.u64(), PageId{0});
+  for (PageId& f : pool_) f = r.u64();
+  remap_.clear();
+  for (std::uint64_t n = r.u64(); n > 0; --n) {
+    const PageId f = r.u64();
+    remap_[f] = r.u64();
+  }
+  scrub_cursor_ = r.u64();
+  next_scrub_at_ = r.u64();
+  retire_log_.assign(r.u64(), RetirementEvent{});
+  for (RetirementEvent& e : retire_log_) {
+    e.at = r.u64();
+    e.frame = r.u64();
+  }
+  metrics_.demand_corrected = r.u64();
+  metrics_.demand_uncorrectable = r.u64();
+  metrics_.scrub_probes = r.u64();
+  metrics_.scrub_corrected = r.u64();
+  metrics_.scrub_uncorrectable = r.u64();
+  metrics_.scrub_collisions = r.u64();
+  metrics_.stuck_faults = r.u64();
+  metrics_.frames_retired = r.u64();
+  metrics_.frames_pinned = r.u64();
+  metrics_.evacuations = r.u64();
+  metrics_.evacuation_bytes = r.u64();
+  metrics_.spares_used = r.u64();
+  r.end_section();
+}
+
+}  // namespace hmm::ras

@@ -1,0 +1,219 @@
+// RAS (reliability/availability/serviceability) layer: a deterministic
+// media-error model under both memory tiers, SEC-DED ECC outcomes, a
+// patrol scrubber, and the page-retirement state machine (DESIGN.md §11).
+//
+// Error model. Two fault sites drive everything, evaluated through the
+// session's FaultInjector so error sequences are a pure function of the
+// fault plan:
+//   * MediaTransient — a transient multi/single-bit upset on an access or
+//     scrub probe of a frame. A deterministic per-frame payload draw
+//     splits it SEC-DED style: with probability `due_fraction` it is a
+//     double-bit detected-uncorrectable error (DUE — flags the frame for
+//     retirement), otherwise a corrected single-bit error (CE — charged
+//     `ce_penalty` cycles).
+//   * MediaStuckAt — a cell in the frame fails permanently. One stuck
+//     cell is corrected by SEC on every subsequent read (a latent error
+//     until something *probes* the frame — exactly what the patrol
+//     scrubber exists to surface); reaching `stuck_retire_threshold`
+//     stuck cells risks uncorrectable combinations and flags the frame.
+//   Repeat offenders escalate: a frame accumulating `ce_retire_threshold`
+//   corrected errors is flagged even without a hard fault.
+//
+// Retirement is evacuate-then-blacklist: a flagged frame is only
+// *pending* until the owning scheme moves its occupant off through its
+// own machinery (design N bulk-copies to a spare, N-1/Live park the
+// empty slot, nomad runs a shadow transaction, the static schemes remap
+// to a spare); only then does the frame enter the retired set that
+// validate(), can_swap(), and the auditor enforce. Placements a scheme
+// cannot express are *pinned*: served in place forever, never written
+// anew. Capacity degrades gracefully — spares (reserved at boot like
+// DRAM sparing / post-package repair) absorb retirements — until healthy
+// capacity drops below `capacity_floor`, which raises a structured
+// SimError(CapacityExhausted) instead of wedging.
+//
+// Determinism: fire/no-fire decisions come from the injector's per-site
+// streams; ECC payload draws are a pure function of (plan seed, frame,
+// per-frame draw index), so outcomes are independent of the order in
+// which *other* frames are probed. With no media rules in the fault plan
+// every hook is a no-op and runs are bit-identical to a RAS-less build.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/snapshot.hh"
+#include "common/types.hh"
+#include "core/geometry.hh"
+#include "core/ras_view.hh"
+#include "fault/fault_injector.hh"
+
+namespace hmm::ras {
+
+struct RasConfig {
+  bool enabled = false;
+  /// SEC-DED split: fraction of transient media events that are
+  /// double-bit (detected-uncorrectable); the rest are corrected.
+  double due_fraction = 0.05;
+  /// Corrected-error count at which a frame is declared failing.
+  std::uint64_t ce_retire_threshold = 16;
+  /// Stuck-at fault count at which a frame is declared failing.
+  std::uint64_t stuck_retire_threshold = 2;
+  /// Cycles between patrol probes (one frame per probe); 0 disables.
+  Cycle scrub_interval = 20'000;
+  /// Cycles a probed frame stays busy; a colliding demand access pays it.
+  Cycle scrub_busy = 200;
+  Cycle ce_penalty = 50;      ///< ECC correction latency on a demand hit
+  Cycle due_penalty = 2'000;  ///< detected-uncorrectable recovery cost
+  /// Frames reserved data-free at boot, just below Ω. Their identity
+  /// pages are invisible to the OS — workloads must not address them.
+  unsigned spare_frames = 4;
+  /// Healthy-capacity floor as a fraction of total frames; dropping
+  /// below raises SimError(CapacityExhausted).
+  double capacity_floor = 0.75;
+};
+
+struct RasMetrics {
+  std::uint64_t demand_corrected = 0;
+  std::uint64_t demand_uncorrectable = 0;
+  std::uint64_t scrub_probes = 0;
+  std::uint64_t scrub_corrected = 0;
+  std::uint64_t scrub_uncorrectable = 0;
+  std::uint64_t scrub_collisions = 0;  ///< demand paid scrub_busy
+  std::uint64_t stuck_faults = 0;      ///< stuck cells that developed
+  std::uint64_t frames_retired = 0;
+  std::uint64_t frames_pinned = 0;
+  std::uint64_t evacuations = 0;       ///< remap-service relocations
+  std::uint64_t evacuation_bytes = 0;  ///< bytes moved by the remap path
+  std::uint64_t spares_used = 0;
+};
+
+/// One retirement, for the availability bench's capacity-vs-time curve.
+struct RetirementEvent {
+  Cycle at = 0;
+  PageId frame = kInvalidPage;
+};
+
+class RasEngine final : public RasService {
+ public:
+  static constexpr std::size_t kMaxRetirementLog = 64;
+
+  RasEngine(const RasConfig& cfg, const Geometry& geom,
+            fault::FaultInjector* injector);
+
+  [[nodiscard]] const RasConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const RasMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const std::vector<RetirementEvent>& retirement_log()
+      const noexcept {
+    return retire_log_;
+  }
+
+  // --- RasFrameView / RasService -------------------------------------------
+  [[nodiscard]] bool retired(PageId frame) const noexcept override;
+  [[nodiscard]] bool quarantined(PageId frame) const noexcept override;
+  [[nodiscard]] bool reserved_spare(PageId frame) const noexcept override;
+  Cycle on_demand_access(PageId frame, Cycle now) override;
+  [[nodiscard]] bool has_pending() const noexcept override;
+  [[nodiscard]] PageId next_pending() const noexcept override;
+  [[nodiscard]] std::vector<PageId> pending_frames() const override;
+  void complete_retirement(PageId frame, Cycle now) override;
+  void pin_frame(PageId frame) override;
+  [[nodiscard]] PageId peek_spare() const noexcept override;
+  void consume_spare(PageId frame) override;
+
+  // --- remap service (schemes without relocation machinery) ----------------
+  /// Permanently remap `frame` onto a spare (a bulk copy is charged) and
+  /// retire it. Returns the spare, or nullopt when the pool is dry (the
+  /// caller pins the frame instead).
+  std::optional<PageId> remap_frame(PageId frame, Cycle now);
+  /// Assign a spare stand-in for a frame that was retired *without* one
+  /// (stale at retirement time) but must now receive data again — e.g. a
+  /// flat-HMA page evicted from a failing slot back to its retired home.
+  /// Returns the spare, or nullopt when the pool is dry.
+  std::optional<PageId> assign_spare_for(PageId frame, Cycle now);
+  /// The spare standing in for `frame` (kInvalidPage when unremapped).
+  [[nodiscard]] PageId remap_of(PageId frame) const noexcept;
+  /// Follow the remap chain from `frame` to the frame actually serving it
+  /// (a spare standing in for a spare when a consumed spare fails too).
+  [[nodiscard]] PageId resolve(PageId frame) const noexcept;
+  /// All retired frames, ascending (for scheme audit sweeps).
+  [[nodiscard]] std::vector<PageId> retired_frames() const;
+
+  // --- capacity bookkeeping ------------------------------------------------
+  [[nodiscard]] std::uint64_t retired_count() const noexcept {
+    return retired_.size();
+  }
+  [[nodiscard]] std::uint64_t pinned_count() const noexcept {
+    return pinned_.size();
+  }
+  [[nodiscard]] std::uint64_t pending_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::uint64_t spares_left() const noexcept {
+    return pool_.size();
+  }
+  /// Frames currently able to hold data: total minus lost frames, plus
+  /// the spares already standing in for lost ones.
+  [[nodiscard]] std::uint64_t healthy_frames() const noexcept;
+
+  /// Test hook: flag `frame` as failing without a media event (drives the
+  /// mid-swap retirement choreography tests deterministically).
+  void flag_frame_for_test(PageId frame) { flag(frame, 0); }
+
+  // --- checkpoint/restore --------------------------------------------------
+  // Serialized only when RAS is enabled (MemSim gates the call), so the
+  // pre-RAS snapshot layout is unchanged. Sets and maps are written
+  // sorted so the encoding is independent of hash iteration order.
+  void save(snap::Writer& w) const;
+  void restore(snap::Reader& r);
+
+ private:
+  /// Per-frame health record (sparse: only frames with history).
+  struct FrameHealth {
+    std::uint64_t transients = 0;  ///< MediaTransient events observed
+    std::uint64_t corrected = 0;   ///< CEs (incl. stuck-cell corrections)
+    std::uint64_t stuck = 0;       ///< permanently failed cells
+    std::uint64_t draws = 0;       ///< ECC payload draws consumed
+    Cycle last_scrub = 0;          ///< when the scrubber last held it
+  };
+
+  /// One media probe of `frame` (demand access or patrol scrub). Returns
+  /// the latency penalty; flags the frame when it crosses a threshold.
+  Cycle probe(PageId frame, Cycle now, bool scrub);
+  /// Run the patrol scrubber up to `now` (one frame per interval).
+  void scrub_to(Cycle now);
+  void flag(PageId frame, Cycle now);
+  void log_retirement(PageId frame, Cycle now);
+  /// Raises SimError(CapacityExhausted) once health is below the floor.
+  void check_capacity() const;
+  /// Deterministic ECC payload for this frame's next media event: a pure
+  /// function of (plan seed, frame, draw index).
+  [[nodiscard]] double payload_draw(FrameHealth& h, PageId frame);
+
+  RasConfig cfg_;   // no-snapshot(construction-time config)
+  Geometry geom_;   // no-snapshot(construction-time config)
+  // no-snapshot(not owned; the injector serializes itself)
+  fault::FaultInjector* injector_ = nullptr;
+  // no-snapshot(derived from cfg_ in the ctor)
+  std::uint64_t floor_frames_ = 0;
+
+  std::unordered_map<PageId, FrameHealth> health_;
+  std::unordered_set<PageId> pending_;  ///< flagged, awaiting evacuation
+  std::unordered_set<PageId> retired_;  ///< evacuated and blacklisted
+  std::unordered_set<PageId> pinned_;   ///< failing but inexpressible
+  // no-snapshot(derived from cfg_/geom_ in the ctor; pool_ tracks use)
+  std::unordered_set<PageId> spare_set_;  ///< every boot-reserved spare
+  std::vector<PageId> pool_;  ///< unconsumed spares, ascending ids
+  std::unordered_map<PageId, PageId> remap_;  ///< frame -> spare stand-in
+  PageId scrub_cursor_ = 0;
+  Cycle next_scrub_at_ = 0;
+  std::vector<RetirementEvent> retire_log_;
+  RasMetrics metrics_;
+};
+
+}  // namespace hmm::ras

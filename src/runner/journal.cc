@@ -44,6 +44,28 @@ void encode_result(snap::Writer& w, const RunResult& r) {
   }
   w.f64(r.energy_pj);
   w.f64(r.energy_off_only_pj);
+  w.u64(r.faults_dropped);
+  w.b(r.ras_enabled);
+  w.u64(r.ras.demand_corrected);
+  w.u64(r.ras.demand_uncorrectable);
+  w.u64(r.ras.scrub_probes);
+  w.u64(r.ras.scrub_corrected);
+  w.u64(r.ras.scrub_uncorrectable);
+  w.u64(r.ras.scrub_collisions);
+  w.u64(r.ras.stuck_faults);
+  w.u64(r.ras.frames_retired);
+  w.u64(r.ras.frames_pinned);
+  w.u64(r.ras.evacuations);
+  w.u64(r.ras.evacuation_bytes);
+  w.u64(r.ras.spares_used);
+  w.u64(r.ras_frames_pending);
+  w.u64(r.ras_spares_left);
+  w.u64(r.ras_healthy_frames);
+  w.u64(r.ras_retirements.size());
+  for (const ras::RetirementEvent& e : r.ras_retirements) {
+    w.u64(e.at);
+    w.u64(e.frame);
+  }
 }
 
 void decode_result(snap::Reader& rd, RunResult& r) {
@@ -79,6 +101,28 @@ void decode_result(snap::Reader& rd, RunResult& r) {
   }
   r.energy_pj = rd.f64();
   r.energy_off_only_pj = rd.f64();
+  r.faults_dropped = rd.u64();
+  r.ras_enabled = rd.b();
+  r.ras.demand_corrected = rd.u64();
+  r.ras.demand_uncorrectable = rd.u64();
+  r.ras.scrub_probes = rd.u64();
+  r.ras.scrub_corrected = rd.u64();
+  r.ras.scrub_uncorrectable = rd.u64();
+  r.ras.scrub_collisions = rd.u64();
+  r.ras.stuck_faults = rd.u64();
+  r.ras.frames_retired = rd.u64();
+  r.ras.frames_pinned = rd.u64();
+  r.ras.evacuations = rd.u64();
+  r.ras.evacuation_bytes = rd.u64();
+  r.ras.spares_used = rd.u64();
+  r.ras_frames_pending = rd.u64();
+  r.ras_spares_left = rd.u64();
+  r.ras_healthy_frames = rd.u64();
+  r.ras_retirements.assign(rd.u64(), ras::RetirementEvent{});
+  for (ras::RetirementEvent& e : r.ras_retirements) {
+    e.at = rd.u64();
+    e.frame = rd.u64();
+  }
 }
 
 /// Minimal JSON string escaping for the human-readable key/status fields.

@@ -111,6 +111,8 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
       j.kv("normalized_power", r.normalized_power());
       if (r.faults_injected > 0 || r.audits > 0) {
         j.kv("faults_injected", r.faults_injected);
+        if (r.faults_dropped > 0)
+          j.kv("faults_dropped", r.faults_dropped);
         j.kv("chunk_retries", r.chunk_retries);
         j.kv("chunks_dropped", r.chunks_dropped);
         j.kv("swap_aborts", r.swap_aborts);
@@ -118,6 +120,35 @@ std::string ResultSink::write_json(const std::vector<CellResult>& cells) const {
         j.kv("degraded", r.degraded);
         if (r.degraded)
           j.kv("degraded_at", static_cast<std::uint64_t>(r.degraded_at));
+      }
+      if (r.ras_enabled) {
+        j.key("ras").begin_object();
+        j.kv("demand_corrected", r.ras.demand_corrected);
+        j.kv("demand_uncorrectable", r.ras.demand_uncorrectable);
+        j.kv("scrub_probes", r.ras.scrub_probes);
+        j.kv("scrub_corrected", r.ras.scrub_corrected);
+        j.kv("scrub_uncorrectable", r.ras.scrub_uncorrectable);
+        j.kv("scrub_collisions", r.ras.scrub_collisions);
+        j.kv("stuck_faults", r.ras.stuck_faults);
+        j.kv("frames_retired", r.ras.frames_retired);
+        j.kv("frames_pinned", r.ras.frames_pinned);
+        j.kv("frames_pending", r.ras_frames_pending);
+        j.kv("evacuations", r.ras.evacuations);
+        j.kv("evacuation_bytes", r.ras.evacuation_bytes);
+        j.kv("spares_used", r.ras.spares_used);
+        j.kv("spares_left", r.ras_spares_left);
+        j.kv("healthy_frames", r.ras_healthy_frames);
+        if (!r.ras_retirements.empty()) {
+          j.key("retirements").begin_array();
+          for (const ras::RetirementEvent& e : r.ras_retirements) {
+            j.begin_object();
+            j.kv("at", static_cast<std::uint64_t>(e.at));
+            j.kv("frame", static_cast<std::uint64_t>(e.frame));
+            j.end_object();
+          }
+          j.end_array();
+        }
+        j.end_object();
       }
       j.end_object();
       if (!r.fault_events.empty()) {

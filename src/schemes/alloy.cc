@@ -15,6 +15,7 @@ SchemeDecision AlloyScheme::on_access(PhysAddr addr, AccessType type,
                                       Cycle now) {
   SchemeDecision d;
   ++stats_.accesses;
+  if (ras_ != nullptr) ras_service(now);
 
   if (injector_ != nullptr &&
       injector_->fires(fault::FaultSite::HotnessCorrupt,
@@ -25,9 +26,28 @@ SchemeDecision AlloyScheme::on_access(PhysAddr addr, AccessType type,
         injector_->payload_rng().bounded64(cache_.sets()));
   }
 
+  const std::uint64_t line = cache_.line_bytes();
+  if (ras_ != nullptr && ras_->quarantined(cache_frame_of(
+                             cache_.set_of(addr)))) {
+    // The set lives in a failing cache frame: a still-present line may be
+    // served while the frame awaits purging, but nothing new installs
+    // there — the miss bypasses the cache to the backing home.
+    if (cache_.present(addr)) {
+      const LineCache::Lookup hit =
+          cache_.access(addr, type == AccessType::Write);
+      ++stats_.hits;
+      d.route.region = Region::OnPackage;
+      d.route.mach = hit.set * line + addr % line;
+    } else {
+      d.route.region = Region::OffPackage;
+      d.route.mach = backing_of(addr);
+      d.extra_latency = params::kL4MissDetermination;
+    }
+    return d;
+  }
+
   const LineCache::Lookup lk =
       cache_.access(addr, type == AccessType::Write);
-  const std::uint64_t line = cache_.line_bytes();
   if (lk.hit) {
     // Tag-with-data: the probe IS the access — no extra latency.
     ++stats_.hits;
@@ -37,9 +57,10 @@ SchemeDecision AlloyScheme::on_access(PhysAddr addr, AccessType type,
   }
 
   // Miss: the on-package probe that discovered it costs one access, then
-  // the demand is served from the identity off-package home.
+  // the demand is served from the off-package home (the identity frame,
+  // or its RAS spare stand-in once the home is retired).
   d.route.region = Region::OffPackage;
-  d.route.mach = addr;
+  d.route.mach = backing_of(addr);
   d.extra_latency = params::kL4MissDetermination;
   if (!instant_) {
     // Background fill of the TAD (and the dirty victim's writeback) steal
@@ -49,12 +70,58 @@ SchemeDecision AlloyScheme::on_access(PhysAddr addr, AccessType type,
                Priority::Background, now + d.extra_latency);
     stats_.fill_bytes += line;
     if (lk.victim_valid && lk.victim_dirty) {
-      off_.submit(lk.victim_addr, bytes, AccessType::Write,
+      off_.submit(backing_of(lk.victim_addr), bytes, AccessType::Write,
                   Priority::Background, now + d.extra_latency);
       stats_.writeback_bytes += line;
     }
   }
   return d;
+}
+
+void AlloyScheme::ras_service(Cycle now) {
+  if (!ras_->has_pending()) return;
+  const PageId f = ras_->next_pending();
+  const std::uint64_t line = cache_.line_bytes();
+  const MachAddr base = geom_.machine_base(f);
+  if (geom_.region_of(base) == Region::OnPackage) {
+    // The frame's cache role: purge its sets so nothing is served from
+    // it again; dirty victims stream back to their backing homes.
+    const std::uint64_t per = geom_.page_bytes / line;
+    for (std::uint64_t s = f * per; s < (f + 1) * per; ++s) {
+      const LineCache::Purged p = cache_.purge_set(s);
+      if (p.valid && p.dirty) {
+        if (!instant_)
+          off_.submit(backing_of(p.addr), static_cast<std::uint32_t>(line),
+                      AccessType::Write, Priority::Background, now);
+        stats_.writeback_bytes += line;
+      }
+    }
+  }
+  // The frame's backing role: the backing store identity-maps the whole
+  // physical space, so every frame id is also some page's home. Remap it
+  // onto a spare; a dry pool pins the frame in place (its cache sets, if
+  // any, stay purged and screened).
+  const std::optional<PageId> spare = ras_->remap_frame(f, now);
+  if (!spare.has_value()) {
+    ras_->pin_frame(f);
+    return;
+  }
+  if (!instant_) {
+    const auto bytes = static_cast<std::uint32_t>(geom_.page_bytes);
+    DramSystem& src =
+        geom_.region_of(base) == Region::OnPackage ? on_ : off_;
+    src.submit(base, bytes, AccessType::Read, Priority::Background, now);
+    off_.submit(geom_.machine_base(*spare), bytes, AccessType::Write,
+                Priority::Background, now);
+  }
+}
+
+MachAddr AlloyScheme::backing_of(PhysAddr addr) const noexcept {
+  if (ras_ == nullptr) return addr;
+  const PageId home = geom_.page_of(addr);
+  const PageId f = ras_->resolve(home);
+  if (f == home) return addr;
+  return geom_.machine_base(f) + geom_.offset_of(addr);
 }
 
 Route AlloyScheme::translate(PhysAddr addr) const {
@@ -65,7 +132,7 @@ Route AlloyScheme::translate(PhysAddr addr) const {
     r.mach = cache_.set_of(addr) * line + addr % line;
   } else {
     r.region = Region::OffPackage;
-    r.mach = addr;
+    r.mach = backing_of(addr);
   }
   return r;
 }
@@ -83,6 +150,15 @@ SchemeMetrics AlloyScheme::metrics() const {
 std::string AlloyScheme::audit_check() const {
   const std::string err = cache_.validate();
   if (!err.empty()) return "alloy tag store: " + err;
+  if (ras_ != nullptr) {
+    const std::uint64_t per = geom_.page_bytes / cache_.line_bytes();
+    for (const PageId f : ras_->retired_frames()) {
+      if (geom_.region_of(geom_.machine_base(f)) != Region::OnPackage)
+        continue;
+      if (cache_.any_valid_in(f * per, per))
+        return "alloy tag store: valid line in a retired cache frame";
+    }
+  }
   return {};
 }
 

@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "ras/ras.hh"
 #include "schemes/line_cache.hh"
 #include "schemes/scheme.hh"
 
@@ -40,6 +41,7 @@ class AlloyScheme final : public MemoryScheme {
   void set_fault_injector(fault::FaultInjector* inj) override {
     injector_ = inj;
   }
+  void set_ras(ras::RasEngine* ras) override { ras_ = ras; }
   [[nodiscard]] SchemeMetrics metrics() const override;
   void save(snap::Writer& w) const override;
   void restore(snap::Reader& r) override;
@@ -56,6 +58,17 @@ class AlloyScheme final : public MemoryScheme {
     std::uint64_t writeback_bytes = 0;
   };
 
+  /// Service one pending frame retirement: purge a failing cache frame's
+  /// sets (writing dirty victims back) or remap a failing backing frame
+  /// onto a spare.
+  void ras_service(Cycle now);
+  /// Machine frame holding the cache set (sets are on-package identity).
+  [[nodiscard]] PageId cache_frame_of(std::uint64_t set) const noexcept {
+    return (set * cache_.line_bytes()) >> geom_.page_shift();
+  }
+  /// Off-package backing address of `addr`, through the RAS remap table.
+  [[nodiscard]] MachAddr backing_of(PhysAddr addr) const noexcept;
+
   Geometry geom_;  // no-snapshot(construction-time config)
   DramSystem& on_;
   DramSystem& off_;
@@ -63,6 +76,7 @@ class AlloyScheme final : public MemoryScheme {
   Stats stats_;
   bool instant_ = false;
   fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
+  ras::RasEngine* ras_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace hmm::schemes

@@ -19,6 +19,7 @@ SchemeDecision FlatHmaScheme::on_access(PhysAddr addr, AccessType /*type*/,
                                         Cycle now) {
   SchemeDecision d;
   ++stats_.accesses;
+  if (ras_ != nullptr) ras_service(now);
   PageId p = geom_.page_of(addr);
 
   if (profiling_) {
@@ -32,7 +33,7 @@ SchemeDecision FlatHmaScheme::on_access(PhysAddr addr, AccessType /*type*/,
     }
     ++counts_[tracked];
     d.route.region = Region::OffPackage;
-    d.route.mach = addr;
+    d.route.mach = home_of(addr);
     if (++seen_ >= interval_) finalize_placement(now);
     // The OS bookkeeping stalls the CPU; charge it to the access that
     // crossed the epoch boundary (same convention as the controller).
@@ -57,10 +58,16 @@ void FlatHmaScheme::finalize_placement(Cycle now) {
               return a.first < b.first;
             });
   const SlotId slots = geom_.slots();
-  SlotId next = 0;
+  SlotId cursor = 0;
+  SlotId next = 0;  ///< pages actually placed
   for (const auto& [page, count] : heat) {
-    if (next >= slots || count == 0) break;
-    place_.emplace(page, next++);
+    // A quarantined slot frame must not receive a placement (slot ids are
+    // on-package machine frames 1:1).
+    while (cursor < slots && ras_ != nullptr && ras_->quarantined(cursor))
+      ++cursor;
+    if (cursor >= slots || count == 0) break;
+    place_.emplace(page, cursor++);
+    ++next;
   }
   stats_.placements = next;
   if (!instant_ && next > 0) {
@@ -91,11 +98,80 @@ Route FlatHmaScheme::translate(PhysAddr addr) const {
     r.mach = static_cast<MachAddr>(it->second) * geom_.page_bytes +
              geom_.offset_of(addr);
   } else {
-    // Identity off-package home (the Force::AllOffPackage convention).
+    // Identity off-package home (the Force::AllOffPackage convention),
+    // or its RAS spare stand-in once the home is retired.
     r.region = Region::OffPackage;
-    r.mach = addr;
+    r.mach = home_of(addr);
   }
   return r;
+}
+
+void FlatHmaScheme::ras_service(Cycle now) {
+  if (!ras_->has_pending()) return;
+  const PageId f = ras_->next_pending();
+  const auto bytes = static_cast<std::uint32_t>(geom_.page_bytes);
+  if (f < geom_.slots()) {
+    // The frame's slot role: evict whatever page was pinned in slot f
+    // back to its off-package home (the pinned copy is authoritative).
+    PageId evictee = kInvalidPage;
+    for (const auto& [page, slot] : place_)
+      if (slot == f && (evictee == kInvalidPage || page < evictee))
+        evictee = page;
+    if (evictee != kInvalidPage) {
+      PageId target = ras_->resolve(evictee);
+      if (ras_->retired(target)) {
+        // The evictee's home was stale-retired while the page lived
+        // on-package; it needs a fresh spare to land on. A dry pool pins
+        // the slot instead — the page keeps being served in place.
+        const std::optional<PageId> re =
+            ras_->assign_spare_for(target, now);
+        if (!re.has_value()) {
+          ras_->pin_frame(f);
+          return;
+        }
+        target = *re;
+      }
+      place_.erase(evictee);
+      if (!instant_) {
+        on_.submit(static_cast<MachAddr>(f) * geom_.page_bytes, bytes,
+                   AccessType::Read, Priority::Background, now);
+        off_.submit(geom_.machine_base(target), bytes, AccessType::Write,
+                    Priority::Background, now);
+      }
+      stats_.migrated_bytes += geom_.page_bytes;
+    }
+  }
+  // The frame's home role: the backing store identity-maps the whole
+  // physical space, so frame f is also page f's home.
+  if (place_.count(f) != 0) {
+    // Page f lives on-package; its home frame holds only a stale copy,
+    // so the frame is data-free and retires without a copy.
+    ras_->complete_retirement(f, now);
+    return;
+  }
+  // The home holds page f's data: permanent remap onto a spare; a dry
+  // pool pins the frame in place.
+  const std::optional<PageId> spare = ras_->remap_frame(f, now);
+  if (!spare.has_value()) {
+    ras_->pin_frame(f);
+    return;
+  }
+  if (!instant_) {
+    const MachAddr base = geom_.machine_base(f);
+    DramSystem& src =
+        geom_.region_of(base) == Region::OnPackage ? on_ : off_;
+    src.submit(base, bytes, AccessType::Read, Priority::Background, now);
+    off_.submit(geom_.machine_base(*spare), bytes, AccessType::Write,
+                Priority::Background, now);
+  }
+}
+
+MachAddr FlatHmaScheme::home_of(PhysAddr addr) const noexcept {
+  if (ras_ == nullptr) return addr;
+  const PageId home = geom_.page_of(addr);
+  const PageId f = ras_->resolve(home);
+  if (f == home) return addr;
+  return geom_.machine_base(f) + geom_.offset_of(addr);
 }
 
 SchemeMetrics FlatHmaScheme::metrics() const {
@@ -124,6 +200,11 @@ std::string FlatHmaScheme::audit_check() const {
   }
   if (place_.size() > geom_.slots())
     return "flat-HMA placement: more pages than slots";
+  if (ras_ != nullptr) {
+    for (const auto& [page, slot] : place_)
+      if (ras_->retired(slot))
+        return "flat-HMA placement: page mapped to a retired slot";
+  }
   return {};
 }
 

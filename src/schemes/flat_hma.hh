@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "ras/ras.hh"
 #include "schemes/scheme.hh"
 
 namespace hmm::schemes {
@@ -39,6 +40,7 @@ class FlatHmaScheme final : public MemoryScheme {
   void set_fault_injector(fault::FaultInjector* inj) override {
     injector_ = inj;
   }
+  void set_ras(ras::RasEngine* ras) override { ras_ = ras; }
   [[nodiscard]] SchemeMetrics metrics() const override;
   void save(snap::Writer& w) const override;
   void restore(snap::Reader& r) override;
@@ -52,6 +54,12 @@ class FlatHmaScheme final : public MemoryScheme {
 
  private:
   void finalize_placement(Cycle now);
+  /// Service one pending frame retirement: evict the page placed in a
+  /// failing slot back to its home, or remap a failing off-package home
+  /// onto a spare.
+  void ras_service(Cycle now);
+  /// Home machine address of `addr`, through the RAS remap table.
+  [[nodiscard]] MachAddr home_of(PhysAddr addr) const noexcept;
 
   struct Stats {
     std::uint64_t accesses = 0;
@@ -73,6 +81,7 @@ class FlatHmaScheme final : public MemoryScheme {
   Stats stats_;
   bool instant_ = false;
   fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
+  ras::RasEngine* ras_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace hmm::schemes

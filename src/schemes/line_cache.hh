@@ -10,6 +10,7 @@
 // validate(), giving the invariant auditor a real cross-check.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -83,6 +84,40 @@ class LineCache {
     }
     e = static_cast<std::uint32_t>(tag << 2) | (dirty ? 2u : 0u) | 1u;
     return lk;
+  }
+
+  /// Outcome of purging one set: the evicted line, when one was valid.
+  struct Purged {
+    bool valid = false;
+    bool dirty = false;
+    PhysAddr addr = 0;
+  };
+
+  /// RAS retirement: evict the set's line (if any) and report it so a
+  /// dirty victim can be written back to its backing home.
+  [[nodiscard]] Purged purge_set(std::uint64_t set) {
+    Purged p;
+    if (set >= sets_) return p;
+    const std::uint32_t e = tags_[set];
+    if ((e & 1u) != 0) {
+      p.valid = true;
+      p.dirty = (e & 2u) != 0;
+      p.addr = ((static_cast<std::uint64_t>(e >> 2) * sets_) + set) *
+               line_bytes_;
+      --valid_count_;
+      tags_[set] = 0;
+    }
+    return p;
+  }
+
+  /// True when any set in [first_set, first_set + count) holds a valid
+  /// line (RAS audit: retired cache frames must stay empty).
+  [[nodiscard]] bool any_valid_in(std::uint64_t first_set,
+                                  std::uint64_t count) const noexcept {
+    const std::uint64_t end = std::min(first_set + count, sets_);
+    for (std::uint64_t s = first_set; s < end; ++s)
+      if ((tags_[s] & 1u) != 0) return true;
+    return false;
   }
 
   /// Fault payload: drop one set (a benign eviction-like transient).

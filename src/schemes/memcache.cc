@@ -32,12 +32,15 @@ SchemeDecision MemCacheScheme::on_access(PhysAddr addr, AccessType type,
                                          Cycle now) {
   SchemeDecision d;
   ++stats_.accesses;
+  if (ras_ != nullptr) ras_service(now);
 
   if (addr < mem_bytes_) {
-    // Memory fraction: static identity placement, no tags, no extra cost.
-    ++stats_.mem_hits;
-    d.route.region = Region::OnPackage;
-    d.route.mach = addr;
+    // Memory fraction: static identity placement, no tags, no extra cost
+    // — unless the frame was retired, in which case its RAS spare
+    // stand-in (off-package) serves it.
+    d.route.mach = home_of(addr);
+    d.route.region = geom_.region_of(d.route.mach);
+    if (d.route.region == Region::OnPackage) ++stats_.mem_hits;
     return d;
   }
 
@@ -49,9 +52,27 @@ SchemeDecision MemCacheScheme::on_access(PhysAddr addr, AccessType type,
         injector_->payload_rng().bounded64(cache_.sets()));
   }
 
+  const std::uint64_t line = cache_.line_bytes();
+  if (ras_ != nullptr && cache_.sets() != 0 &&
+      ras_->quarantined(cache_frame_of(cache_.set_of(addr)))) {
+    // Failing cache frame: serve a still-present line in place, but
+    // never install a new one — the miss bypasses to the backing home.
+    if (cache_.present(addr)) {
+      const LineCache::Lookup hit =
+          cache_.access(addr, type == AccessType::Write);
+      ++stats_.cache_hits;
+      d.route.region = Region::OnPackage;
+      d.route.mach = mem_bytes_ + hit.set * line + addr % line;
+    } else {
+      d.route.region = Region::OffPackage;
+      d.route.mach = home_of(addr);
+      d.extra_latency = params::kL4MissDetermination;
+    }
+    return d;
+  }
+
   const LineCache::Lookup lk =
       cache_.access(addr, type == AccessType::Write);
-  const std::uint64_t line = cache_.line_bytes();
   if (lk.hit) {
     ++stats_.cache_hits;
     d.route.region = Region::OnPackage;
@@ -59,7 +80,7 @@ SchemeDecision MemCacheScheme::on_access(PhysAddr addr, AccessType type,
     return d;
   }
   d.route.region = Region::OffPackage;
-  d.route.mach = addr;
+  d.route.mach = home_of(addr);
   if (cache_.sets() == 0) return d;  // cache_fraction 0: plain miss
   d.extra_latency = params::kL4MissDetermination;
   if (!instant_) {
@@ -68,7 +89,7 @@ SchemeDecision MemCacheScheme::on_access(PhysAddr addr, AccessType type,
                Priority::Background, now + d.extra_latency);
     stats_.fill_bytes += line;
     if (lk.victim_valid && lk.victim_dirty) {
-      off_.submit(lk.victim_addr, bytes, AccessType::Write,
+      off_.submit(home_of(lk.victim_addr), bytes, AccessType::Write,
                   Priority::Background, now + d.extra_latency);
       stats_.writeback_bytes += line;
     }
@@ -76,18 +97,66 @@ SchemeDecision MemCacheScheme::on_access(PhysAddr addr, AccessType type,
   return d;
 }
 
+void MemCacheScheme::ras_service(Cycle now) {
+  if (!ras_->has_pending()) return;
+  const PageId f = ras_->next_pending();
+  const MachAddr base = geom_.machine_base(f);
+  if (geom_.region_of(base) == Region::OnPackage && base >= mem_bytes_ &&
+      cache_.sets() != 0) {
+    // The frame's cache role: purge its sets; dirty victims stream back
+    // to their backing homes.
+    const std::uint64_t line = cache_.line_bytes();
+    const std::uint64_t first = (base - mem_bytes_) / line;
+    const std::uint64_t per = geom_.page_bytes / line;
+    for (std::uint64_t s = first; s < first + per; ++s) {
+      const LineCache::Purged p = cache_.purge_set(s);
+      if (p.valid && p.dirty) {
+        if (!instant_)
+          off_.submit(home_of(p.addr), static_cast<std::uint32_t>(line),
+                      AccessType::Write, Priority::Background, now);
+        stats_.writeback_bytes += line;
+      }
+    }
+  }
+  // The frame's home role: a memory-fraction frame is page f's static
+  // home, and the cache's backing store identity-maps the rest of the
+  // space, so every frame id is also some page's home. Remap onto a
+  // spare; a dry pool pins the frame in place.
+  const std::optional<PageId> spare = ras_->remap_frame(f, now);
+  if (!spare.has_value()) {
+    ras_->pin_frame(f);
+    return;
+  }
+  if (!instant_) {
+    const auto bytes = static_cast<std::uint32_t>(geom_.page_bytes);
+    DramSystem& src =
+        geom_.region_of(base) == Region::OnPackage ? on_ : off_;
+    src.submit(base, bytes, AccessType::Read, Priority::Background, now);
+    off_.submit(geom_.machine_base(*spare), bytes, AccessType::Write,
+                Priority::Background, now);
+  }
+}
+
+MachAddr MemCacheScheme::home_of(PhysAddr addr) const noexcept {
+  if (ras_ == nullptr) return addr;
+  const PageId home = geom_.page_of(addr);
+  const PageId f = ras_->resolve(home);
+  if (f == home) return addr;
+  return geom_.machine_base(f) + geom_.offset_of(addr);
+}
+
 Route MemCacheScheme::translate(PhysAddr addr) const {
   Route r;
   if (addr < mem_bytes_) {
-    r.region = Region::OnPackage;
-    r.mach = addr;
+    r.mach = home_of(addr);
+    r.region = geom_.region_of(r.mach);
   } else if (cache_.present(addr)) {
     const std::uint64_t line = cache_.line_bytes();
     r.region = Region::OnPackage;
     r.mach = mem_bytes_ + cache_.set_of(addr) * line + addr % line;
   } else {
     r.region = Region::OffPackage;
-    r.mach = addr;
+    r.mach = home_of(addr);
   }
   return r;
 }
@@ -109,6 +178,17 @@ std::string MemCacheScheme::audit_check() const {
     return "memcache partition exceeds on-package capacity";
   const std::string err = cache_.validate();
   if (!err.empty()) return "memcache tag store: " + err;
+  if (ras_ != nullptr && cache_.sets() != 0) {
+    const std::uint64_t line = cache_.line_bytes();
+    const std::uint64_t per = geom_.page_bytes / line;
+    for (const PageId f : ras_->retired_frames()) {
+      const MachAddr base = geom_.machine_base(f);
+      if (geom_.region_of(base) != Region::OnPackage || base < mem_bytes_)
+        continue;
+      if (cache_.any_valid_in((base - mem_bytes_) / line, per))
+        return "memcache tag store: valid line in a retired cache frame";
+    }
+  }
   return {};
 }
 

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "ras/ras.hh"
 #include "schemes/line_cache.hh"
 #include "schemes/scheme.hh"
 
@@ -38,6 +39,7 @@ class MemCacheScheme final : public MemoryScheme {
   void set_fault_injector(fault::FaultInjector* inj) override {
     injector_ = inj;
   }
+  void set_ras(ras::RasEngine* ras) override { ras_ = ras; }
   [[nodiscard]] SchemeMetrics metrics() const override;
   void save(snap::Writer& w) const override;
   void restore(snap::Reader& r) override;
@@ -56,6 +58,18 @@ class MemCacheScheme final : public MemoryScheme {
     std::uint64_t writeback_bytes = 0;
   };
 
+  /// Service one pending frame retirement: purge a failing cache frame,
+  /// or remap a failing memory-fraction / backing frame onto a spare.
+  void ras_service(Cycle now);
+  /// Machine frame holding the cache set (sets sit past the memory
+  /// fraction in the on-package space).
+  [[nodiscard]] PageId cache_frame_of(std::uint64_t set) const noexcept {
+    return (mem_bytes_ + set * cache_.line_bytes()) >> geom_.page_shift();
+  }
+  /// Home machine address of `addr`, through the RAS remap table (the
+  /// identity frame, or its spare stand-in once the home is retired).
+  [[nodiscard]] MachAddr home_of(PhysAddr addr) const noexcept;
+
   Geometry geom_;  // no-snapshot(construction-time config)
   std::uint64_t mem_bytes_;  // no-snapshot(construction-time config)
   DramSystem& on_;
@@ -64,6 +78,7 @@ class MemCacheScheme final : public MemoryScheme {
   Stats stats_;
   bool instant_ = false;
   fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
+  ras::RasEngine* ras_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace hmm::schemes

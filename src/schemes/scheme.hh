@@ -26,6 +26,10 @@
 #include "core/controller.hh"
 #include "fault/auditor.hh"
 
+namespace hmm::ras {
+class RasEngine;
+}
+
 namespace hmm::schemes {
 
 struct SchemeConfig {
@@ -96,6 +100,12 @@ class MemoryScheme : public fault::Auditable {
 
   /// Attach a fault injector (nullptr detaches). Not owned.
   virtual void set_fault_injector(fault::FaultInjector* inj) = 0;
+
+  /// Attach the RAS engine (nullptr detaches). Not owned. The scheme
+  /// becomes responsible for servicing pending frame retirements through
+  /// its own placement machinery and for never placing new data in a
+  /// quarantined frame; the default is for RAS-unaware schemes.
+  virtual void set_ras(ras::RasEngine* ras) { (void)ras; }
 
   /// The scheme's translation table, or nullptr for table-less schemes
   /// (gates the TableBitFlip fault site and the auditor's table sweep).

@@ -10,6 +10,7 @@
 
 #include "core/controller.hh"
 #include "core/migration.hh"
+#include "ras/ras.hh"
 #include "schemes/scheme.hh"
 
 namespace hmm::schemes {
@@ -53,6 +54,8 @@ class SwapScheme final : public MemoryScheme {
   void set_fault_injector(fault::FaultInjector* inj) override {
     ctl_.set_fault_injector(inj);
   }
+
+  void set_ras(ras::RasEngine* ras) override { ctl_.set_ras(ras); }
 
   [[nodiscard]] TranslationTable* mutable_table() noexcept override {
     return &ctl_.table();

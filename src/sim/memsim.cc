@@ -24,6 +24,29 @@ MemSim::MemSim(const MemSimConfig& cfg)
     on_.set_fault_injector(&injector_);
     off_.set_fault_injector(&injector_);
   }
+  if (cfg.ras.enabled) {
+    ras_ = std::make_unique<ras::RasEngine>(
+        cfg.ras, cfg.controller.geom,
+        injector_.enabled() ? &injector_ : nullptr);
+    scheme_->set_ras(ras_.get());
+    auditor_.set_extra_check([this] { return ras_route_sweep(); });
+  }
+}
+
+std::string MemSim::ras_route_sweep() const {
+  // Every OS-visible page must translate to a live frame right now —
+  // retired frames are blacklisted and must never serve demand. Ω and
+  // the identity pages of the boot-reserved spares are not OS-visible.
+  const Geometry& g = cfg_.controller.geom;
+  const PageId first_reserved = g.omega() - cfg_.ras.spare_frames;
+  for (PageId p = 0; p < first_reserved; ++p) {
+    const Route r = scheme_->translate(g.machine_base(p));
+    const PageId frame = g.page_of(r.mach);
+    if (ras_->retired(frame))
+      return "RAS sweep: page " + std::to_string(p) +
+             " routes to retired frame " + std::to_string(frame);
+  }
+  return {};
 }
 
 HeteroMemoryController& MemSim::controller() {
@@ -180,6 +203,20 @@ void MemSim::step(const TraceRecord& r) {
     d.extra_latency = 0;
   }
 
+  if (ras_ != nullptr) {
+    // Media-error model: probe the frame actually served (ECC penalties
+    // land in extra_latency), and hard-stop if the scheme ever routed a
+    // demand access into a blacklisted frame. Force modes bypass the
+    // scheme's routing, so the retired check is meaningless there.
+    const PageId frame = cfg_.controller.geom.page_of(mach);
+    if (cfg_.force == MemSimConfig::Force::None && ras_->retired(frame))
+      throw fault::SimError(
+          fault::SimErrorKind::AuditFailed,
+          "demand access served from retired frame " +
+              std::to_string(frame));
+    d.extra_latency += ras_->on_demand_access(frame, now);
+  }
+
   DramSystem& sys = region == Region::OnPackage ? on_ : off_;
   throttle(sys, now);
 
@@ -260,6 +297,7 @@ RunResult MemSim::result() const {
   r.end_time = std::max(end_time_, last_now_);
 
   r.faults_injected = injector_.total_fires();
+  r.faults_dropped = injector_.events_dropped();
   r.chunk_retries = m.chunk_retries;
   r.chunks_dropped = m.chunks_dropped;
   r.swap_aborts = m.swap_aborts;
@@ -271,6 +309,15 @@ RunResult MemSim::result() const {
       events.begin(),
       events.begin() +
           std::min(events.size(), RunResult::kMaxReportedFaults));
+
+  if (ras_ != nullptr) {
+    r.ras_enabled = true;
+    r.ras = ras_->metrics();
+    r.ras_frames_pending = ras_->pending_count();
+    r.ras_spares_left = ras_->spares_left();
+    r.ras_healthy_frames = ras_->healthy_frames();
+    r.ras_retirements = ras_->retirement_log();
+  }
 
   const EnergyBreakdown e = EnergyModel::hybrid(
       on_.demand_bytes(), off_.demand_bytes(), on_.background_bytes(),
@@ -335,6 +382,7 @@ void MemSim::save(snap::Writer& w) const {
   scheme_->save(w);
   injector_.save(w);
   auditor_.save(w);
+  if (ras_ != nullptr) ras_->save(w);
   w.begin_section(snap::tag('M', 'S', 'I', 'M'));
   w.u64(deadline_check_);
   save_demand_map(w, demand_on_);
@@ -360,6 +408,7 @@ void MemSim::restore(snap::Reader& r) {
   scheme_->restore(r);
   injector_.restore(r);
   auditor_.restore(r);
+  if (ras_ != nullptr) ras_->restore(r);
   r.begin_section(snap::tag('M', 'S', 'I', 'M'));
   deadline_check_ = r.u64();
   load_demand_map(r, demand_on_);

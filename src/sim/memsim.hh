@@ -24,6 +24,7 @@
 #include "fault/auditor.hh"
 #include "fault/fault_injector.hh"
 #include "power/energy_model.hh"
+#include "ras/ras.hh"
 #include "schemes/scheme.hh"
 #include "sim/run_result.hh"
 #include "trace/generator.hh"
@@ -46,6 +47,9 @@ struct MemSimConfig {
   /// Fault-injection plan (empty = no faults, zero overhead, bit-identical
   /// to a build without the hooks).
   fault::FaultPlan fault;
+  /// RAS layer (media-error model, scrub, page retirement); disabled by
+  /// default — every hook is absent and runs are bit-identical to pre-RAS.
+  ras::RasConfig ras;
   /// Full invariant audit every this many accesses (0 = disabled).
   std::uint64_t audit_interval = 0;
   /// Wall-clock budget for this simulation, measured from construction;
@@ -94,6 +98,12 @@ class MemSim {
   [[nodiscard]] const fault::InvariantAuditor& auditor() const noexcept {
     return auditor_;
   }
+  /// The RAS engine, or nullptr when `cfg.ras.enabled` is false.
+  [[nodiscard]] const ras::RasEngine* ras_engine() const noexcept {
+    return ras_.get();
+  }
+  /// Mutable form, for tests that flag frames deterministically.
+  [[nodiscard]] ras::RasEngine* mutable_ras() noexcept { return ras_.get(); }
 
   /// Checkpoint/restore of the complete simulator state. The restoring
   /// side must construct MemSim with the same MemSimConfig; save() covers
@@ -122,12 +132,16 @@ class MemSim {
   /// Raises SimError(Watchdog) when simulated time can no longer advance:
   /// the engine holds an unfinished swap but nothing is in flight anywhere.
   void check_wedged() const;
+  /// Auditor deep sweep: no OS page may route to a retired frame.
+  [[nodiscard]] std::string ras_route_sweep() const;
 
   MemSimConfig cfg_;  // no-snapshot(construction-time config)
   DramSystem on_;
   DramSystem off_;
   std::unique_ptr<schemes::MemoryScheme> scheme_;
   fault::FaultInjector injector_;
+  /// Present only when cfg.ras.enabled; serialized after the auditor.
+  std::unique_ptr<ras::RasEngine> ras_;
   fault::InvariantAuditor auditor_;
   // no-snapshot(host wall-clock; meaningless across processes)
   std::chrono::steady_clock::time_point started_;

@@ -7,6 +7,7 @@
 #include "common/params.hh"
 #include "common/types.hh"
 #include "fault/fault_injector.hh"
+#include "ras/ras.hh"
 
 namespace hmm {
 
@@ -33,6 +34,9 @@ struct RunResult {
 
   // Fault-injection & resilience outcomes (all zero in a fault-free run).
   std::uint64_t faults_injected = 0;
+  /// Fire events not individually recorded because the injector's bounded
+  /// event log overflowed (the counters above still include them).
+  std::uint64_t faults_dropped = 0;
   std::uint64_t chunk_retries = 0;
   std::uint64_t chunks_dropped = 0;
   std::uint64_t swap_aborts = 0;
@@ -43,6 +47,16 @@ struct RunResult {
   /// for the per-cell `fault_events` array in the results JSON.
   std::vector<fault::FaultEvent> fault_events;
   static constexpr std::size_t kMaxReportedFaults = 64;
+
+  // RAS outcomes (the block is absent from the JSON when RAS is off).
+  bool ras_enabled = false;
+  ras::RasMetrics ras;
+  std::uint64_t ras_frames_pending = 0;  ///< flagged, not yet evacuated
+  std::uint64_t ras_spares_left = 0;
+  std::uint64_t ras_healthy_frames = 0;
+  /// Capacity-vs-time curve: the first retirements, in order (bounded by
+  /// RasEngine::kMaxRetirementLog).
+  std::vector<ras::RetirementEvent> ras_retirements;
 
   double energy_pj = 0;
   double energy_off_only_pj = 0;
