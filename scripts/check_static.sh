@@ -6,15 +6,19 @@
 #
 # Stages:
 #   1. scripts/lint.py          repo-specific structural rules (always)
-#   2. scripts/format.sh --check  clang-format conformance   (if installed)
-#   3. clang-tidy               curated .clang-tidy set      (if installed)
-#   4. cppcheck                 whole-program analysis       (if installed)
+#   2. tools/analyze            semantic suite: determinism, snapshot,
+#                               errors, layering, fault-coverage (always;
+#                               AST backend when libclang imports, the
+#                               degraded text backend otherwise)
+#   3. scripts/format.sh --check  clang-format conformance   (if installed)
+#   4. clang-tidy               curated .clang-tidy set      (if installed)
+#   5. cppcheck                 whole-program analysis       (if installed)
 #
 # Missing optional tools produce a SKIP line, not a failure: the repo
 # must stay checkable in minimal containers that only carry a compiler
-# and python3. Stage 1 is the enforced backbone and never skips.
+# and python3. Stages 1 and 2 are the enforced backbone and never skip.
 set -uo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 2
 
 BUILD_DIR="${1:-build}"
 failures=0
@@ -23,13 +27,38 @@ note() { echo "== $*" >&2; }
 skip() { echo "-- SKIP: $*" >&2; }
 fail() { echo "-- FAIL: $*" >&2; failures=$((failures + 1)); }
 
+# The list-driven stages (clang-tidy, cppcheck) share one source list,
+# gathered once and checked non-empty. Feeding them straight from a
+# command substitution let a failing `git ls-files` hand clang-tidy an
+# empty list — which exits 0, silently passing an entire stage on
+# nothing. Sabotage fixtures are excluded: they violate rules on
+# purpose, and the analyzer's WILL_FAIL ctests are what prove they
+# still fire.
+if sources_out=$(git ls-files 'src/*.cc' 'tools/*.cc' \
+                 ':!tools/analyze/fixtures'); then
+  mapfile -t cxx_sources <<<"$sources_out"
+else
+  cxx_sources=()
+  fail "git ls-files failed; cannot enumerate C++ sources"
+fi
+if [[ ${#cxx_sources[@]} -eq 0 || -z "${cxx_sources[0]}" ]]; then
+  cxx_sources=()
+  fail "source enumeration returned no files (tree layout changed?)"
+fi
+
 # --- 1. repo linter (mandatory) ---------------------------------------------
 note "lint.py"
 if ! python3 scripts/lint.py; then
   fail "scripts/lint.py reported findings"
 fi
 
-# --- 2. formatting ----------------------------------------------------------
+# --- 2. semantic analysis suite (mandatory) ---------------------------------
+note "analyze (semantic suite)"
+if ! python3 tools/analyze/analyze.py --build-dir "$BUILD_DIR"; then
+  fail "tools/analyze reported findings"
+fi
+
+# --- 3. formatting ----------------------------------------------------------
 note "format --check"
 if command -v "${CLANG_FORMAT:-clang-format}" >/dev/null 2>&1; then
   if ! scripts/format.sh --check; then
@@ -39,33 +68,30 @@ else
   skip "clang-format not installed"
 fi
 
-# --- 3. clang-tidy ----------------------------------------------------------
+# --- 4. clang-tidy ----------------------------------------------------------
 note "clang-tidy"
-if command -v clang-tidy >/dev/null 2>&1; then
-  if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
-    mapfile -t tidy_files < <(git ls-files 'src/*.cc' 'tools/*.cc')
-    if ! clang-tidy -p "$BUILD_DIR" --quiet "${tidy_files[@]}"; then
-      fail "clang-tidy"
-    fi
-  else
-    skip "no $BUILD_DIR/compile_commands.json (configure with" \
-         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
-  fi
-else
+if ! command -v clang-tidy >/dev/null 2>&1; then
   skip "clang-tidy not installed"
+elif [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  skip "no $BUILD_DIR/compile_commands.json (configure with" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+elif [[ ${#cxx_sources[@]} -gt 0 ]]; then
+  if ! clang-tidy -p "$BUILD_DIR" --quiet "${cxx_sources[@]}"; then
+    fail "clang-tidy"
+  fi
 fi
 
-# --- 4. cppcheck ------------------------------------------------------------
+# --- 5. cppcheck ------------------------------------------------------------
 note "cppcheck"
-if command -v cppcheck >/dev/null 2>&1; then
+if ! command -v cppcheck >/dev/null 2>&1; then
+  skip "cppcheck not installed"
+elif [[ ${#cxx_sources[@]} -gt 0 ]]; then
   if ! cppcheck --std=c++20 --language=c++ --enable=warning,performance \
        --error-exitcode=1 --inline-suppr --quiet \
        --suppress=missingIncludeSystem -I src \
-       $(git ls-files 'src/*.cc' 'tools/*.cc'); then
+       "${cxx_sources[@]}"; then
     fail "cppcheck"
   fi
-else
-  skip "cppcheck not installed"
 fi
 
 if [[ $failures -ne 0 ]]; then

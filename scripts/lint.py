@@ -17,11 +17,14 @@ repository's own correctness contracts:
                      restore(snap::Reader&)) must be written by save()
                      AND read by restore(). A member added to a class
                      but not to its codecs silently rots every
-                     checkpoint; this check parses the class definition
-                     and both function bodies so it cannot happen.
-                     References and pointers are exempt (not owned);
-                     construction-time constants carry a
-                     "no-snapshot(<why>)" comment.
+                     checkpoint. With --snapshot-backend auto (the
+                     default) this rule delegates to the AST-accurate
+                     checker in tools/analyze when libclang is
+                     importable, falling back to the regex pass below
+                     otherwise; `ast` demands libclang, `regex` forces
+                     the fallback. Both backends honor the same
+                     exemptions: references and pointers (not owned) and
+                     a "no-snapshot(<why>)" comment.
   include-hygiene    headers start with #pragma once; a .cc includes its
                      own header first (catches headers that silently
                      depend on prior includes); no file-scope
@@ -46,6 +49,9 @@ CXX_EXTENSIONS = (".cc", ".hh", ".h", ".cpp", ".hpp")
 SHIPPED_DIRS = ("src/", "tools/")
 # Test code may use bare asserts (gtest has its own) and ad-hoc RNG.
 TEST_DIRS = ("tests/",)
+# Sabotage fixtures deliberately violate every rule; the analyzer's own
+# WILL_FAIL ctests prove they still fire.
+FIXTURE_DIR = "tools/analyze/fixtures/"
 
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z\-]+)\)")
 
@@ -391,10 +397,14 @@ SELF_TEST_CASES = [
 ]
 
 
-def self_test():
+def self_test(root):
     """Every rule must fire on its synthetic bad input and stay silent on
     the clean equivalent — a linter edit that breaks detection fails CI
-    instead of silently passing everything."""
+    instead of silently passing everything. The snapshot rule is proven
+    under BOTH engines: the regex pass on its synthetic case, and the
+    AST delegation on the analyzer's sabotage fixture when libclang is
+    importable (skipped with a note otherwise, so a container without
+    libclang still validates the fallback it actually runs)."""
     failures = []
     for rule, path, source in SELF_TEST_CASES:
         findings = []
@@ -426,12 +436,66 @@ def self_test():
                             {"src/x/g.hh": iface})
     if findings:
         failures.append(f"abstract interface raised: {findings[0]}")
+    # The AST delegation path: the analyzer's sabotage fixture must come
+    # back with both of its planted coverage holes.
+    err = ast_backend_error(root)
+    if err is None:
+        delegated = []
+        ok = run_ast_snapshot(
+            root, [FIXTURE_DIR + "snapshot_bad.hh"], delegated)
+        if not ok:
+            failures.append("AST snapshot delegation errored out")
+        elif len(delegated) < 2:
+            failures.append(
+                "AST snapshot delegation found "
+                f"{len(delegated)} finding(s) on the sabotage fixture "
+                "(expected >= 2) — the delegated backend has gone blind")
+    else:
+        print(f"lint --self-test: NOTE: libclang unavailable ({err}); "
+              "AST delegation case skipped", file=sys.stderr)
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
     print("lint --self-test: " +
           ("FAIL" if failures else
            f"all {len(SELF_TEST_CASES)} rules fire"), file=sys.stderr)
     return 1 if failures else 0
+
+
+# --- AST delegation (tools/analyze) ------------------------------------------
+
+def ast_backend_error(root):
+    """Returns None when the tools/analyze AST backend can load libclang,
+    else a one-line reason string."""
+    sys.path.insert(0, os.path.join(root, "tools"))
+    try:
+        from analyze import astlib
+        return None if astlib.available() else astlib.load_error()
+    except Exception as e:  # noqa: BLE001 — any import failure degrades
+        return str(e)
+
+
+def run_ast_snapshot(root, files, findings):
+    """Delegates snapshot-coverage to the AST-accurate checker in
+    tools/analyze (subprocess, so the two tools' lazy two-way imports
+    never tangle) and merges its findings. Returns False on an
+    infrastructure failure (callers fall back to the regex pass)."""
+    import json
+    import tempfile
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as tmp:
+        cmd = [sys.executable,
+               os.path.join(root, "tools", "analyze", "analyze.py"),
+               "--root", root, "--checks", "snapshot", "--backend", "ast",
+               "--report", tmp.name] + files
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode not in (0, 1):
+            print(f"lint: AST snapshot delegation failed:\n{proc.stderr}",
+                  file=sys.stderr)
+            return False
+        report = json.load(tmp)
+    for f in report["findings"]:
+        findings.append(Finding(f["path"], f["line"], "snapshot-coverage",
+                                f["message"]))
+    return True
 
 
 # --- driver ------------------------------------------------------------------
@@ -441,7 +505,8 @@ def list_files(root):
         ["git", "ls-files"], cwd=root, capture_output=True, text=True,
         check=True)
     return [f for f in out.stdout.splitlines()
-            if f.endswith(CXX_EXTENSIONS)]
+            if f.endswith(CXX_EXTENSIONS)
+            and not f.startswith(FIXTURE_DIR)]
 
 
 def main():
@@ -453,10 +518,29 @@ def main():
                     help="files to lint (default: all tracked C++ sources)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify every rule fires on synthetic bad input")
+    ap.add_argument("--snapshot-backend", choices=("auto", "ast", "regex"),
+                    default="auto",
+                    help="snapshot-coverage engine: the AST checker in "
+                    "tools/analyze, the regex pass here, or auto "
+                    "(AST when libclang imports, else regex)")
     args = ap.parse_args()
-    if args.self_test:
-        return self_test()
     root = os.path.abspath(args.root)
+    if args.self_test:
+        return self_test(root)
+
+    use_ast = False
+    if args.snapshot_backend != "regex":
+        err = ast_backend_error(root)
+        if err is None:
+            use_ast = True
+        elif args.snapshot_backend == "ast":
+            print("lint: --snapshot-backend ast but libclang is "
+                  f"unavailable: {err}", file=sys.stderr)
+            return 2
+        else:
+            print(f"lint: NOTE: libclang unavailable ({err}); "
+                  "snapshot-coverage runs the regex fallback",
+                  file=sys.stderr)
 
     paths = args.files or list_files(root)
     paths = [os.path.relpath(os.path.join(root, p), root).replace(
@@ -472,9 +556,13 @@ def main():
             return 2
 
     findings = []
+    if use_ast:
+        use_ast = run_ast_snapshot(
+            root, [p for p in all_files if is_shipped(p)], findings)
     for p, text in all_files.items():
         check_banned_calls(p, text, findings)
-        check_snapshot_coverage(p, text, findings, all_files)
+        if not use_ast:
+            check_snapshot_coverage(p, text, findings, all_files)
         check_include_hygiene(p, text, findings, all_files)
         check_style(p, text, findings)
 

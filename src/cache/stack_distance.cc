@@ -36,6 +36,7 @@ void StackDistanceProfiler::rebuild() {
   // Renumber live positions compactly, preserving order.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> by_time;  // ts, line
   by_time.reserve(last_seen_.size());
+  // analyze: allow(determinism): collected then sorted below
   for (const auto& [line, ts] : last_seen_) by_time.emplace_back(ts, line);
   std::sort(by_time.begin(), by_time.end());
 

@@ -22,6 +22,7 @@ enum class SimErrorKind : unsigned char {
   Timeout,      ///< the cell exceeded its wall-clock budget
   Snapshot,     ///< a checkpoint failed to encode, decode, or verify
   CapacityExhausted,  ///< page retirement ate past the capacity floor
+  Io,           ///< a trace file failed to open, read, or write
 };
 
 [[nodiscard]] constexpr const char* to_string(SimErrorKind k) noexcept {
@@ -32,6 +33,7 @@ enum class SimErrorKind : unsigned char {
     case SimErrorKind::Timeout: return "timeout";
     case SimErrorKind::Snapshot: return "snapshot";
     case SimErrorKind::CapacityExhausted: return "capacity-exhausted";
+    case SimErrorKind::Io: return "io";
   }
   return "?";
 }

@@ -55,6 +55,7 @@ bool RasEngine::has_pending() const noexcept { return !pending_.empty(); }
 
 PageId RasEngine::next_pending() const noexcept {
   PageId best = kInvalidPage;
+  // analyze: allow(determinism): tie-broken min-scan
   for (const PageId f : pending_)
     if (best == kInvalidPage || f < best) best = f;
   return best;
@@ -247,6 +248,7 @@ void RasEngine::save(snap::Writer& w) const {
   w.begin_section(snap::tag('R', 'A', 'S', 'E'));
   std::vector<PageId> keys;
   keys.reserve(health_.size());
+  // analyze: allow(determinism): keys collected then sorted below
   for (const auto& [f, h] : health_) keys.push_back(f);
   std::sort(keys.begin(), keys.end());
   w.u64(keys.size());
@@ -272,6 +274,7 @@ void RasEngine::save(snap::Writer& w) const {
   for (const PageId f : pool_) w.u64(f);
   std::vector<PageId> rk;
   rk.reserve(remap_.size());
+  // analyze: allow(determinism): keys collected then sorted below
   for (const auto& [f, s] : remap_) rk.push_back(f);
   std::sort(rk.begin(), rk.end());
   w.u64(rk.size());

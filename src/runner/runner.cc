@@ -123,6 +123,7 @@ RunResult ExperimentRunner::durable_replay(const ExperimentSpec& spec,
          (warm > 0 && !meta.stats_reset_done)) {
     if (interrupt_requested()) {
       if (!ckpt_path.empty()) save_checkpoint(ckpt_path, meta, *gen, sim);
+      // analyze: allow(errors): internal control flow, classified in attempt()
       throw InterruptedRun{};
     }
     if (warm > 0 && !meta.stats_reset_done && meta.accesses_done >= warm) {
@@ -166,6 +167,7 @@ CellResult ExperimentRunner::attempt(const ExperimentSpec& spec,
   const auto t0 = std::chrono::steady_clock::now();
   try {
     if (spec.job) {
+      // analyze: allow(errors): internal control flow, classified below
       if (interrupt_requested()) throw InterruptedRun{};
       cell.result = spec.job(seed);
     } else if (cell_timeout_ > 0 && spec.config.max_wall_seconds <= 0) {
@@ -188,6 +190,7 @@ CellResult ExperimentRunner::attempt(const ExperimentSpec& spec,
   } catch (const std::exception& e) {
     cell.error = e.what();
     cell.status = "failed";
+    // analyze: allow(errors): last-resort classifier marks the cell failed
   } catch (...) {
     cell.error = "unknown exception";
     cell.status = "failed";

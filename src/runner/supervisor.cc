@@ -202,6 +202,7 @@ void Supervisor::run(const std::vector<ExperimentSpec>& grid,
           off += static_cast<std::size_t>(n);
         }
         code = cell.status == "interrupted" ? kInterruptedExit : 0;
+        // analyze: allow(errors): forked child must _exit, never unwind
       } catch (...) {
       }
       ::close(fds[1]);

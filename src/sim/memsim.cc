@@ -18,6 +18,7 @@ MemSim::MemSim(const MemSimConfig& cfg)
           off_)),
       injector_(cfg.fault),
       auditor_(scheme_.get(), cfg.audit_interval),
+      // analyze: allow(determinism): watchdog clock, never simulated state
       started_(std::chrono::steady_clock::now()) {
   if (injector_.enabled()) {
     scheme_->set_fault_injector(&injector_);
@@ -59,8 +60,9 @@ HeteroMemoryController& MemSim::controller() {
 
 void MemSim::check_deadline() const {
   if (cfg_.max_wall_seconds <= 0) return;
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - started_;
+  // analyze: allow(determinism): watchdog clock, never simulated state
+  const auto now_wall = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> elapsed = now_wall - started_;
   if (elapsed.count() > cfg_.max_wall_seconds)
     throw fault::SimError(
         fault::SimErrorKind::Timeout,
@@ -426,6 +428,7 @@ void MemSim::restore(snap::Reader& r) {
     latency_hist_.set_bucket(i, r.u64());
   latency_hist_.set_total(r.u64());
   r.end_section();
+  // analyze: allow(determinism): watchdog clock, never simulated state
   started_ = std::chrono::steady_clock::now();
 }
 

@@ -143,8 +143,9 @@ class MemSim {
   /// Present only when cfg.ras.enabled; serialized after the auditor.
   std::unique_ptr<ras::RasEngine> ras_;
   fault::InvariantAuditor auditor_;
-  // no-snapshot(host wall-clock; meaningless across processes)
-  std::chrono::steady_clock::time_point started_;
+  // analyze: allow(determinism): watchdog clock, never simulated state
+  std::chrono::steady_clock::time_point started_;  // no-snapshot(wall-clock)
+
   std::uint64_t deadline_check_ = 0;
 
   std::unordered_map<RequestId, Outstanding> demand_on_;

@@ -48,6 +48,7 @@ TraceProfile TraceCharacterizer::profile() const {
   // until each byte budget is spent.
   std::vector<std::uint64_t> counts;
   counts.reserve(page_counts_.size());
+  // analyze: allow(determinism): collected then sorted below
   for (const auto& [page, c] : page_counts_) counts.push_back(c);
   std::sort(counts.begin(), counts.end(), std::greater<>());
 

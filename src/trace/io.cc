@@ -2,11 +2,20 @@
 
 #include <array>
 #include <cstring>
-#include <stdexcept>
+
+#include "fault/sim_error.hh"
 
 namespace hmm {
 
 namespace {
+
+/// Trace-file failures are environment errors, not simulation errors,
+/// but they still flow through SimError so the runner can classify the
+/// cell instead of dying on an alien exception type.
+[[noreturn]] void io_fail(const std::string& what) {
+  throw fault::SimError(fault::SimErrorKind::Io, what);
+}
+
 constexpr char kMagic[8] = {'H', 'M', 'M', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t kVersion = 1;
 constexpr std::size_t kNameBytes = 64;
@@ -33,7 +42,7 @@ TraceRecord unpack(const char* buf) {
 TraceWriter::TraceWriter(const std::string& path,
                          const std::string& workload_name)
     : out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) throw std::runtime_error("TraceWriter: cannot create " + path);
+  if (!out_) io_fail("TraceWriter: cannot create " + path);
   out_.write(kMagic, sizeof kMagic);
   out_.write(reinterpret_cast<const char*>(&kVersion), 4);
   const std::uint64_t zero = 0;  // patched in close()
@@ -56,12 +65,13 @@ void TraceWriter::close() {
   out_.seekp(12);
   out_.write(reinterpret_cast<const char*>(&count_), 8);
   out_.close();
-  if (!out_) throw std::runtime_error("TraceWriter: write failure on close");
+  if (!out_) io_fail("TraceWriter: write failure on close");
 }
 
 TraceWriter::~TraceWriter() {
   try {
     close();
+    // analyze: allow(errors): destructor must not throw
   } catch (...) {
     // Destructor must not throw; close() explicitly to observe errors.
   }
@@ -69,7 +79,7 @@ TraceWriter::~TraceWriter() {
 
 TraceReader::TraceReader(const std::string& path)
     : in_(path, std::ios::binary) {
-  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  if (!in_) io_fail("TraceReader: cannot open " + path);
   char magic[8];
   std::uint32_t version = 0;
   in_.read(magic, 8);
@@ -78,7 +88,7 @@ TraceReader::TraceReader(const std::string& path)
   std::array<char, kNameBytes> name{};
   in_.read(name.data(), kNameBytes);
   if (!in_ || std::memcmp(magic, kMagic, 8) != 0 || version != kVersion)
-    throw std::runtime_error("TraceReader: bad header in " + path);
+    io_fail("TraceReader: bad header in " + path);
   name_.assign(name.data());
 }
 

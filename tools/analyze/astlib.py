@@ -1,0 +1,161 @@
+"""libclang loading and translation-unit plumbing for the AST backend.
+
+The suite is driven by the build tree's compile_commands.json
+(CMAKE_EXPORT_COMPILE_COMMANDS is on by default and in every preset),
+so each .cc is parsed with its real flags. Standalone files (sabotage
+fixtures) parse with a minimal `-std=c++20 -I src` fallback.
+
+libclang discovery order:
+  1. HMM_LIBCLANG=/path/to/libclang.so (explicit override)
+  2. clang.cindex's own default resolution
+  3. common distro sonames/globs (libclang-14 ... libclang-18)
+
+When none resolves, available() returns False and the driver runs the
+text backend instead — a skip notice, never a crash (the repo must stay
+checkable in containers that only carry a compiler and python3).
+"""
+
+import glob
+import json
+import os
+import shlex
+
+_clang = None          # the clang.cindex module once loaded
+_load_error = None     # why loading failed, for the skip notice
+
+
+def _try_load():
+    global _clang, _load_error
+    if _clang is not None or _load_error is not None:
+        return
+    try:
+        from clang import cindex
+    except ImportError as e:
+        _load_error = f"python module clang.cindex not importable ({e})"
+        return
+    override = os.environ.get("HMM_LIBCLANG")
+    candidates = [override] if override else [None]
+    if not override:
+        for pat in ("libclang-*.so*", "libclang.so*", "libclang-*.dylib",
+                    "libclang.dylib"):
+            for d in ("/usr/lib/llvm-*/lib", "/usr/lib/x86_64-linux-gnu",
+                      "/usr/lib", "/usr/local/lib"):
+                candidates.extend(sorted(glob.glob(os.path.join(d, pat)),
+                                         reverse=True))
+    last = None
+    for cand in candidates:
+        try:
+            if cand is not None:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(cand)
+            idx = cindex.Index.create()
+            del idx
+            _clang = cindex
+            return
+        except Exception as e:  # cindex raises raw LibclangError
+            last = e
+            continue
+    _load_error = f"libclang shared library not loadable ({last})"
+
+
+def available():
+    _try_load()
+    return _clang is not None
+
+
+def load_error():
+    _try_load()
+    return _load_error or ""
+
+
+def cindex():
+    """The clang.cindex module; call available() first."""
+    _try_load()
+    return _clang
+
+
+def compile_args(build_dir, root):
+    """Maps absolute source path -> argument list, from the build tree's
+    compile_commands.json. Empty when the file is missing."""
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        return {}
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    out = {}
+    for e in entries:
+        src = e["file"]
+        if not os.path.isabs(src):
+            src = os.path.join(e.get("directory", root), src)
+        if "arguments" in e:
+            args = list(e["arguments"])
+        else:
+            args = shlex.split(e.get("command", ""))
+        # Drop the compiler, the input file, and output options: libclang
+        # wants only the flags.
+        cleaned = []
+        skip = False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if os.path.abspath(a) == os.path.abspath(src):
+                continue
+            cleaned.append(a)
+        out[os.path.abspath(src)] = cleaned
+    return out
+
+
+FALLBACK_ARGS = ["-std=c++20", "-xc++"]
+
+
+class TuCache:
+    """Parses translation units on demand, remembering failures."""
+
+    def __init__(self, build_dir, root):
+        self.root = root
+        self.args = compile_args(build_dir, root)
+        self.index = cindex().Index.create()
+        self.errors = []
+
+    def parse(self, path):
+        """Returns a TranslationUnit or None (error recorded)."""
+        apath = os.path.abspath(os.path.join(self.root, path))
+        args = self.args.get(apath)
+        if args is None:
+            args = FALLBACK_ARGS + ["-I", os.path.join(self.root, "src")]
+        try:
+            tu = self.index.parse(apath, args=args)
+        except Exception as e:
+            self.errors.append(f"{path}: parse failed: {e}")
+            return None
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            self.errors.append(f"{path}: {fatal[0].spelling}")
+            return None
+        return tu
+
+
+def walk(cursor):
+    """Depth-first traversal yielding every descendant cursor."""
+    stack = [cursor]
+    while stack:
+        c = stack.pop()
+        yield c
+        stack.extend(reversed(list(c.get_children())))
+
+
+def location_of(cursor, root):
+    """(repo-relative-path, line) for a cursor, or (None, 0) when the
+    location is outside the repo (system headers)."""
+    loc = cursor.location
+    if loc.file is None:
+        return None, 0
+    path = os.path.abspath(loc.file.name)
+    rroot = os.path.abspath(root) + os.sep
+    if not path.startswith(rroot):
+        return None, 0
+    return path[len(rroot):].replace(os.sep, "/"), loc.line

@@ -1,0 +1,130 @@
+"""fault-coverage — every FaultSite is armed and exercised.
+
+The fault-injection layer is only as honest as its coverage: an enum
+value nobody calls `fires()` with is a fault the resilience suite
+*claims* to model but never injects (vacuous coverage — the same trap
+the model checker's sabotage modes guard against). Three rules, all
+driven from the real `enum class FaultSite` declaration:
+
+  armed       every enumerator appears at >= 1 injector call site
+              (`fires(... FaultSite::X ...)`) in src/ outside the
+              declaring header.
+  tested      every enumerator is named in >= 1 file under tests/ —
+              either as `FaultSite::X` or by its to_string() name.
+  to-string   to_string() maps every enumerator to a distinct name and
+              the declared kFaultSiteCount matches the enumerator
+              count (the array-of-site-states indexing depends on it).
+
+Suppression: `// analyze: allow(fault-coverage)` on the enumerator's
+declaration line (for a site that is intentionally bench-only while
+its hook lands in a later PR).
+"""
+
+import re
+
+from ..textlib import Finding
+
+NAME = "fault-coverage"
+
+ENUM_FILE = "src/fault/fault_injector.hh"
+ENUM_RE = re.compile(
+    r"enum\s+class\s+FaultSite[^{]*\{([^}]*)\}", re.DOTALL)
+ENUMERATOR_RE = re.compile(r"^\s*(\w+)\s*[,=}]?", re.MULTILINE)
+TO_STRING_RE = re.compile(
+    r"case\s+FaultSite::(\w+)\s*:\s*return\s+\"([^\"]+)\"")
+COUNT_RE = re.compile(r"kFaultSiteCount\s*=\s*(\d+)")
+
+
+def _enum_decl(ctx):
+    sf = ctx.file_at(ENUM_FILE)
+    if sf is None:
+        return None, []
+    m = ENUM_RE.search(sf.text)
+    if m is None:
+        return sf, []
+    body_start_line = sf.text.count("\n", 0, m.start(1)) + 1
+    enumerators = []
+    for line_off, line in enumerate(m.group(1).split("\n")):
+        em = re.match(r"\s*(\w+)\s*(?:=[^,]*)?,?\s*(?://.*)?$", line)
+        if em and em.group(1):
+            enumerators.append((em.group(1),
+                                body_start_line + line_off))
+    return sf, enumerators
+
+
+def run_text(ctx):
+    findings = []
+    sf, enumerators = _enum_decl(ctx)
+    if sf is None:
+        return findings  # fixture trees without a fault module
+    if not enumerators:
+        findings.append(Finding(
+            ENUM_FILE, 0, NAME,
+            "could not parse enum class FaultSite (checker and enum "
+            "must move together)"))
+        return findings
+
+    names = {e for e, _ in enumerators}
+    to_string = dict(TO_STRING_RE.findall(sf.text))
+
+    # Where is each site armed? Join each line with its predecessor so
+    # a call split across two lines still pairs `fires(` with its site.
+    armed = set()
+    for other in ctx.files:
+        if not other.path.startswith("src/") or other.path == ENUM_FILE:
+            continue
+        prev = ""
+        for code in other.code:
+            window = prev + " " + code
+            if "fires(" in window:
+                for m in re.finditer(r"FaultSite::(\w+)", window):
+                    armed.add(m.group(1))
+            prev = code
+    tested = set()
+    for other in ctx.files:
+        if not other.path.startswith("tests/"):
+            continue
+        for m in re.finditer(r"FaultSite::(\w+)", other.text):
+            tested.add(m.group(1))
+        for e, _ in enumerators:
+            name = to_string.get(e)
+            if name and f'"{name}"' in other.text:
+                tested.add(e)
+
+    for e, line in enumerators:
+        if sf.allowed(line, NAME):
+            continue
+        if e not in armed:
+            findings.append(Finding(
+                ENUM_FILE, line, NAME,
+                f"FaultSite::{e} is never armed: no fires(FaultSite::"
+                f"{e}) call site exists in src/ — the resilience "
+                "suite claims a fault it cannot inject"))
+        if e not in tested:
+            findings.append(Finding(
+                ENUM_FILE, line, NAME,
+                f"FaultSite::{e} is named in no test: nothing under "
+                "tests/ mentions the enumerator or its "
+                "to_string() name"))
+        if e not in to_string:
+            findings.append(Finding(
+                ENUM_FILE, line, NAME,
+                f"FaultSite::{e} has no to_string() case (site "
+                "names round-trip through bench flags and JSON)"))
+
+    cm = COUNT_RE.search(sf.text)
+    if cm and int(cm.group(1)) != len(enumerators):
+        findings.append(Finding(
+            ENUM_FILE, 0, NAME,
+            f"kFaultSiteCount = {cm.group(1)} but the enum declares "
+            f"{len(enumerators)} sites (per-site state arrays index "
+            "by this)"))
+    dup = len(set(to_string.values())) != len(to_string)
+    if dup:
+        findings.append(Finding(
+            ENUM_FILE, 0, NAME,
+            "to_string() maps two sites to the same name"))
+    return findings
+
+
+run_ast = None  # enum + call-site matching is already exact textually

@@ -1,0 +1,192 @@
+"""layering — include-graph rules and cycle detection over src/.
+
+The module DAG this repo grew into (PRs 1-7) is load-bearing: the
+runner forks cells without dragging DRAM timing in, the scheme zoo
+plugs into core without core knowing any scheme, and RAS rides the
+schemes' own machinery. The checker pins that shape:
+
+  module rules   every `src/<module>/` has an explicit allowlist of
+                 modules it may include (below). Three named rules get
+                 their own messages because violating them unwinds a
+                 deliberate design seam:
+                   - common is a leaf (utility layer, includes nothing)
+                   - core must not include schemes/ or ras/ (core
+                     exposes core/ras_view.hh instead, so the
+                     dependency points up, never down)
+                   - runner must not include dram/ (cells fork the
+                     whole sim; the orchestrator never touches timing)
+  base-files     src/fault/sim_error.hh is mapped into the base layer
+                 with common (the error contract sits *below* common by
+                 construction), and the checker enforces that claim: a
+                 base-layer file must include no repo header outside
+                 the base layer.
+  cycles         the file-level include graph must be acyclic (SCC
+                 detection). fault <-> core is a module-level cycle by
+                 design (the auditor reaches up into core); the
+                 file-level graph is what must stay a DAG.
+
+Suppression: `// analyze: allow(layering)` on the #include line.
+"""
+
+import os
+import re
+
+from ..textlib import Finding
+
+NAME = "layering"
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# Files that belong to the base layer regardless of their directory.
+BASE_FILES = {"src/fault/sim_error.hh"}
+BASE_MODULE = "common"
+
+# module -> modules it may include (itself always allowed).
+ALLOWED = {
+    "common": set(),
+    "power": {"common"},
+    "fault": {"common", "core"},  # auditor.cc reaches up, no file cycle
+    "dram": {"common", "fault"},
+    "trace": {"common", "fault"},
+    "cache": {"common", "fault"},
+    "core": {"common", "dram", "fault"},
+    "ras": {"common", "core", "fault"},
+    "schemes": {"common", "core", "fault", "ras"},
+    "sim": {"cache", "common", "core", "fault", "power", "ras",
+            "schemes", "trace"},
+    "runner": {"common", "fault", "sim", "trace"},
+    "verify": {"common", "core", "dram", "fault"},
+}
+
+NAMED_RULES = {
+    ("common", None): "src/common/ is the leaf utility layer: it may "
+                      "include nothing above the base files",
+    ("core", "schemes"): "core must not include schemes/: the zoo "
+                         "plugs into core, never the reverse",
+    ("core", "ras"): "core must not include ras/: use the "
+                     "core/ras_view.hh seam",
+    ("runner", "dram"): "runner must not include dram/: cells fork the "
+                        "whole sim, the orchestrator never touches "
+                        "timing",
+}
+
+
+def _module_of(path):
+    if path in BASE_FILES:
+        return BASE_MODULE
+    parts = path.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def _resolve(inc, root):
+    cand = "src/" + inc
+    if os.path.isfile(os.path.join(root, cand)):
+        return cand
+    return None
+
+
+def run_text(ctx):
+    findings = []
+    edges = {}  # path -> [(lineno, target-path)]
+    for sf in ctx.files:
+        if not sf.path.startswith("src/"):
+            continue
+        for i, code in enumerate(sf.code):
+            m = INCLUDE_RE.match(sf.raw_lines[i]) if code.strip() else None
+            if not m:
+                continue
+            target = _resolve(m.group(1), ctx.root)
+            if target is None:
+                continue
+            edges.setdefault(sf.path, []).append((i + 1, target))
+
+    # --- module allowlist -------------------------------------------------
+    for path, incs in sorted(edges.items()):
+        mod = _module_of(path)
+        if mod is None:
+            continue
+        sf = ctx.file_at(path)
+        for lineno, target in incs:
+            tmod = _module_of(target)
+            if tmod is None or tmod == mod:
+                continue
+            if path in BASE_FILES and target not in BASE_FILES:
+                findings.append(Finding(
+                    path, lineno, NAME,
+                    f"base-layer file includes {target}: "
+                    "fault/sim_error.hh must stay below common "
+                    "(no repo includes outside the base layer)"))
+                continue
+            if tmod in ALLOWED.get(mod, set()):
+                continue
+            if sf is not None and sf.allowed(lineno, NAME):
+                continue
+            named = NAMED_RULES.get((mod, tmod)) or \
+                NAMED_RULES.get((mod, None))
+            detail = named or (f"module '{mod}' may include only "
+                               f"{{{', '.join(sorted(ALLOWED.get(mod, set()) | {mod}))}}}")  # noqa: E501  // analyze-self: long
+            findings.append(Finding(
+                path, lineno, NAME,
+                f"include of {target} breaks layering: {detail}"))
+
+    # --- file-level cycle detection (iterative Tarjan SCC) ----------------
+    graph = {p: [t for _, t in incs] for p, incs in edges.items()}
+    for tgts in list(graph.values()):
+        for t in tgts:
+            graph.setdefault(t, [])
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    sccs = []
+
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work = [(start, iter(graph[start]))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(graph[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(sorted(scc))
+
+    for scc in sorted(sccs):
+        findings.append(Finding(
+            scc[0], 0, NAME,
+            "include cycle: " + " <-> ".join(scc)))
+    return findings
+
+
+run_ast = None  # the include graph is already exact at the text level

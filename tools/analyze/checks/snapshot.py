@@ -1,0 +1,157 @@
+"""snapshot — AST-accurate member coverage of save()/restore() pairs.
+
+Every class declaring both `save(snap::Writer&)` and
+`restore(snap::Reader&)` must reference each of its own non-static data
+members in both bodies. A member added to a class but not to its codecs
+silently rots every checkpoint — the golden bit-identity tests cannot
+catch a field that is *consistently* dropped.
+
+Exemptions (same contract as scripts/lint.py, which this checker
+replaces when libclang is available):
+  - pointer / reference members (not owned, rewired on restore)
+  - members whose declaration (or the line above) carries a
+    `no-snapshot(<why>)` annotation
+  - abstract interfaces whose save/restore are both pure virtual
+  - `// analyze: allow(snapshot)` on the member declaration line
+
+The text backend delegates to the regex implementation in
+scripts/lint.py — one shared fallback, self-tested both ways — so the
+two tools can never disagree about the contract.
+"""
+
+import os
+import re
+import sys
+
+from ..textlib import Finding
+
+NAME = "snapshot"
+
+NO_SNAPSHOT_RE = re.compile(r"no-snapshot\(|not owned")
+
+
+def _lint_module(root):
+    sys.path.insert(0, os.path.join(root, "scripts"))
+    try:
+        import lint
+        return lint
+    finally:
+        sys.path.pop(0)
+
+
+def run_text(ctx):
+    """Regex fallback: reuse scripts/lint.py's snapshot-coverage pass."""
+    lint = _lint_module(ctx.root)
+    all_files = {sf.path: sf.text for sf in ctx.files}
+    raw = []
+    for sf in ctx.files:
+        if not (sf.path in ctx.explicit or sf.path.startswith("src/")):
+            continue
+        lint.check_snapshot_coverage(sf.path, sf.text, raw, all_files)
+    findings = []
+    for f in raw:
+        if f.rule != "snapshot-coverage":
+            continue
+        sf = ctx.file_at(f.path)
+        if sf is not None and sf.allowed(f.line, NAME):
+            continue
+        findings.append(Finding(f.path, f.line, NAME, f.message))
+    return findings
+
+
+def _method(cursor, ci, name, param_type):
+    for c in cursor.get_children():
+        if c.kind == ci.CursorKind.CXX_METHOD and c.spelling == name:
+            params = [a for a in c.get_arguments()]
+            if len(params) == 1 and param_type in params[0].type.spelling:
+                return c
+    return None
+
+
+def _member_refs(body_cursor, ci, walk):
+    refs = set()
+    for c in walk(body_cursor):
+        if c.kind in (ci.CursorKind.MEMBER_REF_EXPR,
+                      ci.CursorKind.MEMBER_REF,
+                      ci.CursorKind.DECL_REF_EXPR):
+            refs.add(c.spelling)
+    return refs
+
+
+def _decl_exempt(sf, line):
+    if sf is None:
+        return False
+    for ln in (line, line - 1):
+        if 1 <= ln <= len(sf.raw_lines) and \
+                NO_SNAPSHOT_RE.search(sf.raw_lines[ln - 1]):
+            return True
+    return False
+
+
+def run_ast(ctx):
+    ci = ctx.cindex
+    findings = []
+    seen_classes = set()
+    for tu, _ in ctx.tus():
+        for c in ctx.walk(tu.cursor):
+            if c.kind not in (ci.CursorKind.CLASS_DECL,
+                              ci.CursorKind.STRUCT_DECL):
+                continue
+            if not c.is_definition():
+                continue
+            path, line = ctx.location_of(c)
+            if path is None or not (path in ctx.explicit or
+                                    path.startswith("src/")):
+                continue
+            key = (path, line, c.spelling)
+            if key in seen_classes:
+                continue
+            seen_classes.add(key)
+            save = _method(c, ci, "save", "snap::Writer")
+            restore = _method(c, ci, "restore", "snap::Reader")
+            if save is None or restore is None:
+                continue
+            if save.is_pure_virtual_method() and \
+                    restore.is_pure_virtual_method():
+                continue
+            save_def = save.get_definition()
+            restore_def = restore.get_definition()
+            if save_def is None or restore_def is None:
+                # Out-of-line bodies live in the sibling .cc, which is
+                # its own TU; that TU re-visits this class definition
+                # with the bodies resolvable, so skip here rather than
+                # false-positive. A class whose codec bodies exist in
+                # *no* TU never had them compiled at all.
+                seen_classes.discard(key)
+                continue
+            save_refs = _member_refs(save_def, ci, ctx.walk)
+            restore_refs = _member_refs(restore_def, ci, ctx.walk)
+            sf = ctx.file_at(path)
+            for field in c.get_children():
+                if field.kind != ci.CursorKind.FIELD_DECL:
+                    continue
+                ft = field.type.get_canonical()
+                if ft.kind in (ci.TypeKind.POINTER,
+                               ci.TypeKind.LVALUEREFERENCE,
+                               ci.TypeKind.RVALUEREFERENCE):
+                    continue  # not owned: never serialized
+                fpath, fline = ctx.location_of(field)
+                fsf = ctx.file_at(fpath) if fpath else sf
+                if _decl_exempt(fsf, fline):
+                    continue
+                if fsf is not None and fsf.allowed(fline, NAME):
+                    continue
+                member = field.spelling
+                if member not in save_refs:
+                    findings.append(Finding(
+                        fpath or path, fline or line, NAME,
+                        f"{c.spelling}::{member} is not written by "
+                        "save() — a checkpoint would silently drop it "
+                        "(mark the decl no-snapshot(<why>) if "
+                        "intentional)"))
+                elif member not in restore_refs:
+                    findings.append(Finding(
+                        fpath or path, fline or line, NAME,
+                        f"{c.spelling}::{member} is written by save() "
+                        "but never read back by restore()"))
+    return findings

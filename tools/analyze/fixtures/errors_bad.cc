@@ -1,0 +1,17 @@
+// Sabotage fixture: every error-discipline rule must fire. WILL_FAIL.
+extern "C" void abort(void);
+
+struct Boom {};
+
+void explode() { throw Boom{}; }  // not a SimError
+
+int swallow() {
+  try {
+    explode();
+  } catch (...) {
+    // Swallows every error class, reports nothing.
+  }
+  return 0;
+}
+
+void die() { abort(); }  // vanishing-invariant idiom

@@ -1,0 +1,29 @@
+// Companion fixture: the approved dialect — SimError throws, a
+// rethrowing catch-all, and one annotated deliberate swallow.
+namespace hmm::fault {
+struct SimError {
+  explicit SimError(const char*) {}
+};
+}  // namespace hmm::fault
+using hmm::fault::SimError;
+
+void raise_structured() { throw SimError("structured"); }
+
+int translate() {
+  try {
+    raise_structured();
+  } catch (...) {
+    throw;  // rethrow: the boundary above classifies it
+  }
+  return 0;
+}
+
+struct Guard {
+  ~Guard() {
+    try {
+      raise_structured();
+      // analyze: allow(errors): destructor must not throw
+    } catch (...) {
+    }
+  }
+};

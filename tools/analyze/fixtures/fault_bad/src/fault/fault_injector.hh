@@ -1,0 +1,21 @@
+#pragma once
+// Sabotage fixture: Ghost is declared but never armed at a fires()
+// call site and never named in a test — both rules must fire.
+
+namespace hmm::fault {
+
+enum class FaultSite : unsigned char {
+  Armed,
+  Ghost,
+};
+inline constexpr unsigned kFaultSiteCount = 2;
+
+constexpr const char* to_string(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::Armed: return "armed";
+    case FaultSite::Ghost: return "ghost";
+  }
+  return "?";
+}
+
+}  // namespace hmm::fault

@@ -1,0 +1,13 @@
+#include "fault/fault_injector.hh"
+
+namespace hmm {
+
+struct Injector {
+  bool fires(fault::FaultSite) { return false; }
+};
+
+bool step(Injector& inj) {
+  return inj.fires(fault::FaultSite::Armed);
+}
+
+}  // namespace hmm

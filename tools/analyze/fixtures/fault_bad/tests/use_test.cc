@@ -1,0 +1,8 @@
+// Names only the armed site; Ghost stays untested on purpose.
+#include "fault/fault_injector.hh"
+
+int main() {
+  return hmm::fault::FaultSite::Armed == hmm::fault::FaultSite::Armed
+             ? 0
+             : 1;
+}

@@ -1,0 +1,21 @@
+#pragma once
+// Companion fixture: one fully covered site, one waived-by-annotation
+// site (hook lands in a later PR) — the checker must stay silent.
+
+namespace hmm::fault {
+
+enum class FaultSite : unsigned char {
+  Armed,
+  Ghost,  // analyze: allow(fault-coverage): hook lands with PCM tier
+};
+inline constexpr unsigned kFaultSiteCount = 2;
+
+constexpr const char* to_string(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::Armed: return "armed";
+    case FaultSite::Ghost: return "ghost";
+  }
+  return "?";
+}
+
+}  // namespace hmm::fault

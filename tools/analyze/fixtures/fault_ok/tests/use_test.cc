@@ -1,0 +1,7 @@
+#include "fault/fault_injector.hh"
+
+int main() {
+  return hmm::fault::FaultSite::Armed == hmm::fault::FaultSite::Armed
+             ? 0
+             : 1;
+}

@@ -1,0 +1,5 @@
+#pragma once
+// Sabotage: common is the leaf layer — this include must be flagged.
+#include "core/a.hh"
+
+inline int common_bad() { return core_a(); }

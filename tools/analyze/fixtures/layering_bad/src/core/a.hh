@@ -1,0 +1,5 @@
+#pragma once
+// Sabotage: a <-> b is a file-level include cycle.
+#include "core/b.hh"
+
+inline int core_a() { return 1; }

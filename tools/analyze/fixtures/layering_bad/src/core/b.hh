@@ -1,0 +1,4 @@
+#pragma once
+#include "core/a.hh"
+
+inline int core_b() { return 2; }

@@ -1,0 +1,4 @@
+#pragma once
+// Sabotage: core must never include schemes/ (the zoo plugs into
+// core, not the reverse).
+#include "schemes/s.hh"

@@ -1,0 +1,3 @@
+#pragma once
+
+inline int dram_d() { return 4; }

@@ -1,0 +1,5 @@
+// Sabotage: runner must never include dram/ (cells fork the whole
+// sim; the orchestrator never touches timing).
+#include "dram/d.hh"
+
+int runner_r() { return dram_d(); }

@@ -1,0 +1,3 @@
+#pragma once
+
+inline int scheme_s() { return 3; }

@@ -1,0 +1,3 @@
+#pragma once
+
+inline int common_base() { return 1; }

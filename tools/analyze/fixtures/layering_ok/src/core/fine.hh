@@ -1,0 +1,5 @@
+#pragma once
+// core -> common is an allowed downward edge.
+#include "common/base.hh"
+
+inline int core_fine() { return common_base(); }

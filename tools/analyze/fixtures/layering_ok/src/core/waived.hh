@@ -1,0 +1,6 @@
+#pragma once
+// A rule violation carrying a suppression: the self-test proves
+// allow(layering) suppresses (one-off seams must be visible in-line).
+#include "ras/r.hh"  // analyze: allow(layering): migration shim
+
+inline int core_waived() { return ras_r(); }

@@ -1,0 +1,4 @@
+#pragma once
+#include "common/base.hh"
+
+inline int ras_r() { return common_base(); }

@@ -1,0 +1,27 @@
+// Sabotage fixture: the snapshot checker must flag dropped_ (never
+#pragma once
+// saved) and half_ (saved but never restored). WILL_FAIL ctest.
+namespace snap {
+class Writer {
+ public:
+  void u64(unsigned long) {}
+};
+class Reader {
+ public:
+  unsigned long u64() { return 0; }
+};
+}  // namespace snap
+
+class Cursor {
+ public:
+  void save(snap::Writer& w) const {
+    w.u64(kept_);
+    w.u64(half_);
+  }
+  void restore(snap::Reader& r) { kept_ = r.u64(); }
+
+ private:
+  unsigned long kept_ = 0;
+  unsigned long half_ = 0;
+  unsigned long dropped_ = 0;
+};

@@ -1,0 +1,24 @@
+// Companion fixture: full coverage, an annotated constant, and an
+#pragma once
+// unowned pointer — the snapshot checker must stay silent.
+namespace snap {
+class Writer {
+ public:
+  void u64(unsigned long) {}
+};
+class Reader {
+ public:
+  unsigned long u64() { return 0; }
+};
+}  // namespace snap
+
+class Cursor {
+ public:
+  void save(snap::Writer& w) const { w.u64(kept_); }
+  void restore(snap::Reader& r) { kept_ = r.u64(); }
+
+ private:
+  unsigned long kept_ = 0;
+  unsigned long cfg_ = 0;  // no-snapshot(construction-time config)
+  const Cursor* parent_ = nullptr;  // not owned
+};
